@@ -1,0 +1,146 @@
+// Command mwsbench is the end-to-end load generator: it spins up a full
+// in-process deployment (MWS + PKG over loopback TCP), drives a synthetic
+// smart-meter fleet against it, and prints per-phase latency and
+// throughput rows — the measurements the paper's evaluation section never
+// published (experiments E5 and E8).
+//
+//	mwsbench -preset test -meters 30 -messages 300 -scheme AES-128-GCM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mwskit/internal/core"
+	"mwskit/internal/device"
+	"mwskit/internal/metrics"
+	"mwskit/internal/rclient"
+	"mwskit/internal/sim"
+	"mwskit/internal/wal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mwsbench: ")
+	preset := flag.String("preset", "test", "pairing preset: test, bf80, bf112")
+	scheme := flag.String("scheme", "AES-128-GCM", "symmetric scheme")
+	meters := flag.Int("meters", 30, "meters per kind (3 kinds)")
+	messages := flag.Int("messages", 300, "total messages to deposit")
+	seed := flag.Int64("seed", 1, "workload seed")
+	authMode := flag.String("auth", "mac", "device auth mode: mac (shared key) or ibs (identity-based signature)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "mwsbench-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Dir:    dir,
+		Preset: *preset,
+		Scheme: *scheme,
+		Sync:   wal.SyncNever,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	if err := dep.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	fleet := sim.NewFleet(sim.FleetConfig{
+		Seed:    *seed,
+		PerSite: map[sim.MeterKind]int{sim.Electric: *meters, sim.Water: *meters, sim.Gas: *meters},
+	})
+	fmt.Printf("deployment: preset=%s scheme=%s auth=%s meters=%d attrs=%d\n",
+		*preset, *scheme, *authMode, len(fleet.Meters), len(fleet.Attributes()))
+
+	mwsConn, err := dep.DialMWS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mwsConn.Close()
+	pkgConn, err := dep.DialPKG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pkgConn.Close()
+
+	// Register every meter.
+	type deviceEntry struct {
+		meter *sim.Meter
+		dev   *device.Device
+	}
+	devices := make([]deviceEntry, len(fleet.Meters))
+	for i, m := range fleet.Meters {
+		var sd *device.Device
+		var err error
+		switch *authMode {
+		case "mac":
+			var key []byte
+			key, err = dep.MWS.RegisterDevice(m.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sd, err = dep.NewDevice(m.ID, key)
+		case "ibs":
+			sd, err = dep.NewSigningDevice(m.ID)
+		default:
+			log.Fatalf("unknown auth mode %q", *authMode)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		devices[i] = deviceEntry{meter: m, dev: sd}
+	}
+
+	// Enroll the Figure 1 companies and grant their attribute sets.
+	scenario := sim.Figure1Scenario([]string{"APTCOMPLEX-SV-CA"})
+	rcs := map[string]*rclient.Client{}
+	for company, attrs := range scenario.Companies {
+		rc, err := dep.EnrollClient(company, []byte("pw-"+company))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range attrs {
+			if _, err := dep.Grant(company, a); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rcs[company] = rc
+	}
+
+	// Phase 1: deposits.
+	depositHist := metrics.NewHistogram()
+	start := time.Now()
+	for i := 0; i < *messages; i++ {
+		e := devices[i%len(devices)]
+		em := e.meter.Next()
+		depositHist.Time(func() {
+			if _, err := e.dev.Deposit(mwsConn, em.Attribute, em.Payload); err != nil {
+				log.Fatalf("deposit: %v", err)
+			}
+		})
+	}
+	depositElapsed := time.Since(start)
+	fmt.Printf("\nSD–MWS deposit phase:   %s\n", depositHist.Snapshot())
+	fmt.Printf("  throughput: %.1f msg/s\n", metrics.Throughput(*messages, depositElapsed))
+
+	// Phase 2+3: each company retrieves and decrypts everything it may see.
+	for _, company := range []string{"C-Services", "Electric-and-Gas-Co", "Water-and-Resources-Co"} {
+		rc := rcs[company]
+		start := time.Now()
+		msgs, err := rc.RetrieveAndDecrypt(mwsConn, pkgConn, 0, 0)
+		if err != nil {
+			log.Fatalf("%s: %v", company, err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-24s retrieved+decrypted %4d msgs in %v (%.1f msg/s)\n",
+			company+":", len(msgs), elapsed.Round(time.Millisecond), metrics.Throughput(len(msgs), elapsed))
+	}
+}

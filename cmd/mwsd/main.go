@@ -1,0 +1,199 @@
+// Command mwsd runs the Message Warehousing Service and provides its
+// administrative operations (§I: "administrative operations to manage
+// client identities").
+//
+// Serve:
+//
+//	mwsd -dir /var/lib/mws -addr :7701 -shared-key-file mws-pkg.key serve
+//
+// Administer (against the same -dir, while the server is stopped):
+//
+//	mwsd -dir /var/lib/mws register-device meter-001
+//	mwsd -dir /var/lib/mws register-client c-services -password-file pw.txt -pubkey rc.pem
+//	mwsd -dir /var/lib/mws grant c-services ELECTRIC-APTCOMPLEX-SV-CA
+//	mwsd -dir /var/lib/mws revoke c-services ELECTRIC-APTCOMPLEX-SV-CA
+//	mwsd -dir /var/lib/mws table
+//
+// The shared-key file holds the 32-byte MWS–PKG ticket key in hex; it is
+// created on first use and must be copied to the PKG (the paper assumes
+// this key is established at setup).
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/pem"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/mws"
+	"mwskit/internal/policy"
+	"mwskit/internal/policyrule"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mwsd: ")
+	dir := flag.String("dir", "./mws-data", "data directory")
+	addr := flag.String("addr", "127.0.0.1:7701", "listen address for serve")
+	keyFile := flag.String("shared-key-file", "mws-pkg.key", "hex-encoded 32-byte MWS–PKG shared key (created if absent)")
+	passwordFile := flag.String("password-file", "", "file holding a client password (register-client)")
+	pubKeyFile := flag.String("pubkey", "", "PEM file with the client's RSA public key (register-client)")
+	window := flag.Duration("freshness", 2*time.Minute, "accepted timestamp skew")
+	rulesFile := flag.String("rules-file", "", "optional XACML-style rule file applied at retrieval")
+	flag.Parse()
+
+	sharedKey, err := loadOrCreateKey(*keyFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := mws.New(mws.Config{
+		Dir:             *dir,
+		MWSPKGKey:       sharedKey,
+		FreshnessWindow: *window,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	if *rulesFile != "" {
+		text, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rules, err := policyrule.Parse(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.SetRules(rules); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d policy rules from %s", len(rules.Rules), *rulesFile)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"serve"}
+	}
+	switch args[0] {
+	case "serve":
+		srv, bound, err := svc.ListenAndServe(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving MWS on %s (data in %s)", bound, *dir)
+		waitForSignal()
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+	case "register-device":
+		if len(args) != 2 {
+			log.Fatal("usage: register-device <device-id>")
+		}
+		key, err := svc.RegisterDevice(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("device %s registered; MAC key (deliver out of band):\n%s\n", args[1], hex.EncodeToString(key))
+	case "register-client":
+		if len(args) != 2 || *passwordFile == "" || *pubKeyFile == "" {
+			log.Fatal("usage: register-client <id> -password-file f -pubkey f.pem")
+		}
+		pw, err := os.ReadFile(*passwordFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub, err := readRSAPublicKey(*pubKeyFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.RegisterClient(args[1], []byte(strings.TrimSpace(string(pw))), pub); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("client %s registered\n", args[1])
+	case "grant":
+		if len(args) != 3 {
+			log.Fatal("usage: grant <client-id> <attribute>")
+		}
+		aid, err := svc.Grant(args[1], attr.Attribute(args[2]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("granted; attribute ID %d\n", aid)
+	case "revoke":
+		if len(args) != 3 {
+			log.Fatal("usage: revoke <client-id> <attribute>")
+		}
+		if err := svc.Revoke(args[1], attr.Attribute(args[2])); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("revoked")
+	case "table":
+		fmt.Print(policy.FormatTable(svc.PolicyTable()))
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func loadOrCreateKey(path string) ([]byte, error) {
+	if raw, err := os.ReadFile(path); err == nil {
+		key, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+		if err != nil || len(key) != 32 {
+			return nil, fmt.Errorf("mwsd: %s: invalid key material", path)
+		}
+		return key, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, []byte(hex.EncodeToString(key)+"\n"), 0o600); err != nil {
+		return nil, err
+	}
+	log.Printf("created shared key file %s — copy it to the PKG", path)
+	return key, nil
+}
+
+// rsaPub aliases the RSA public key type for terse parsing code.
+type rsaPub = rsa.PublicKey
+
+func readRSAPublicKey(path string) (pub *rsaPub, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(raw)
+	if block == nil {
+		return nil, fmt.Errorf("mwsd: %s: not PEM", path)
+	}
+	parsed, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	rp, ok := parsed.(*rsaPub)
+	if !ok {
+		return nil, fmt.Errorf("mwsd: %s: not an RSA key", path)
+	}
+	return rp, nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,56 @@
+// Command paramgen generates pairing parameter sets for the MWS system and
+// prints them either as JSON or as Go source suitable for embedding as a
+// preset. Parameter generation is an offline, one-time operation: deployed
+// systems load vetted presets.
+//
+// Usage:
+//
+//	paramgen -pbits 512 -qbits 160 -name BF80 [-format go|json]
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mwskit/internal/pairing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paramgen: ")
+	pBits := flag.Int("pbits", 512, "bit length of the field characteristic p")
+	qBits := flag.Int("qbits", 160, "bit length of the subgroup order q")
+	name := flag.String("name", "Custom", "preset name for Go output")
+	format := flag.String("format", "go", "output format: go or json")
+	flag.Parse()
+
+	pp, err := pairing.Generate(*pBits, *qBits, rand.Reader)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	if err := pp.Validate(); err != nil {
+		log.Fatalf("validate: %v", err)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]string{
+			"p": pp.P.String(), "q": pp.Q.String(),
+			"gx": pp.Gx.String(), "gy": pp.Gy.String(),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	case "go":
+		fmt.Printf("// Params%s: p=%d bits, q=%d bits.\nvar Params%s = &Params{\n\tP:  mustBig(%q),\n\tQ:  mustBig(%q),\n\tGx: mustBig(%q),\n\tGy: mustBig(%q),\n}\n",
+			*name, pp.P.BitLen(), pp.Q.BitLen(), *name,
+			pp.P.String(), pp.Q.String(), pp.Gx.String(), pp.Gy.String())
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,69 @@
+// Command pkgd runs the Private Key Generator: it performs IBE Setup on
+// first start (persisting the master secret under -dir), publishes the
+// public parameters, and serves ticket-authenticated key-extraction
+// requests.
+//
+//	pkgd -dir /var/lib/pkg -addr :7702 -shared-key-file mws-pkg.key -preset bf80
+//
+// The shared-key file must contain the same 32-byte hex key mwsd uses.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mwskit/internal/keyserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pkgd: ")
+	dir := flag.String("dir", "./pkg-data", "data directory")
+	addr := flag.String("addr", "127.0.0.1:7702", "listen address")
+	keyFile := flag.String("shared-key-file", "mws-pkg.key", "hex-encoded 32-byte MWS–PKG shared key")
+	preset := flag.String("preset", "bf80", "pairing parameter preset: test, bf80, bf112")
+	window := flag.Duration("freshness", 2*time.Minute, "accepted timestamp skew")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		log.Fatalf("read shared key: %v (run mwsd first to create it)", err)
+	}
+	sharedKey, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil || len(sharedKey) != 32 {
+		log.Fatalf("%s: invalid key material", *keyFile)
+	}
+
+	svc, err := keyserver.New(keyserver.Config{
+		Dir:             *dir,
+		Preset:          *preset,
+		MWSPKGKey:       sharedKey,
+		FreshnessWindow: *window,
+		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	srv, bound, err := svc.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pkgd: serving PKG on %s (preset %s, data in %s)\n", bound, *preset, *dir)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete mwskit program. It stands up a full
+// deployment (MWS + PKG on loopback TCP), registers one smart meter and
+// one utility company, deposits an encrypted reading toward an attribute,
+// and retrieves + decrypts it at the receiving client — the end-to-end
+// confidential path of the paper in ~60 lines of application code.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mwskit/internal/core"
+	"mwskit/internal/wal"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "mwskit-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Stand up the server side: Message Warehousing Service + PKG.
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Dir:    dir,
+		Preset: "test", // fast parameters; use "bf80"/"bf112" in production
+		Sync:   wal.SyncNever,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+	if err := dep.Start(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MWS listening on %s, PKG on %s\n", dep.MWSAddr(), dep.PKGAddr())
+
+	// 2. Register a smart meter (depositing client).
+	macKey, err := dep.MWS.RegisterDevice("smart-meter-0042")
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter, err := dep.NewDevice("smart-meter-0042", macKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Enroll a utility company (receiving client) and grant it the
+	//    attribute the meter will encrypt toward. The meter never learns
+	//    who holds the attribute; the company never learns the attribute.
+	company, err := dep.EnrollClient("c-services", []byte("correct horse battery staple"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.Grant("c-services", "ELECTRIC-APTCOMPLEX-SV-CA"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Deposit an encrypted reading.
+	mwsConn, err := dep.DialMWS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mwsConn.Close()
+	seq, err := meter.Deposit(mwsConn, "ELECTRIC-APTCOMPLEX-SV-CA",
+		[]byte(`{"kwh": 42.7, "period": "2010-07"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meter deposited message #%d (the MWS stores only ciphertext)\n", seq)
+
+	// 5. Retrieve and decrypt at the company.
+	pkgConn, err := dep.DialPKG()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pkgConn.Close()
+	msgs, err := company.RetrieveAndDecrypt(mwsConn, pkgConn, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range msgs {
+		fmt.Printf("company received #%d from %s: %s\n", m.Seq, m.DeviceID, m.Payload)
+	}
+}

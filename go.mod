@@ -1,0 +1,3 @@
+module mwskit
+
+go 1.24

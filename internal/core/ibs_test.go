@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mwskit/internal/wire"
+)
+
+// TestIBSDeviceEndToEnd exercises the §VIII extension: a device enrolled
+// with an identity-based signing key — no shared MAC key anywhere —
+// deposits a message that an authorized RC then reads.
+func TestIBSDeviceEndToEnd(t *testing.T) {
+	dep := newTestDeployment(t)
+	mwsConn, pkgConn := dialBoth(t, dep)
+
+	sd, err := dep.NewSigningDevice("ibs-meter-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := dep.EnrollClient("rc", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Grant("rc", "A1"); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("signed, not MACed")
+	if _, err := sd.Deposit(mwsConn, "A1", payload); err != nil {
+		t.Fatalf("IBS deposit: %v", err)
+	}
+	msgs, err := rc.RetrieveAndDecrypt(mwsConn, pkgConn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || !bytes.Equal(msgs[0].Payload, payload) {
+		t.Fatalf("IBS-authenticated message did not round trip: %v", msgs)
+	}
+}
+
+func TestIBSDepositRejectsForgery(t *testing.T) {
+	dep := newTestDeployment(t)
+
+	sd, err := dep.NewSigningDevice("ibs-meter-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAuthErr := func(t *testing.T, err error) {
+		t.Helper()
+		var em *wire.ErrorMsg
+		if !errors.As(err, &em) || em.Code != wire.CodeAuth {
+			t.Fatalf("err = %v, want auth error", err)
+		}
+	}
+
+	t.Run("TamperedBody", func(t *testing.T) {
+		req, err := sd.PrepareDeposit("A1", []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Ciphertext[0] ^= 1
+		_, err = dep.MWS.Deposit(req)
+		wantAuthErr(t, err)
+	})
+	t.Run("ImpersonatedDevice", func(t *testing.T) {
+		// A signature by meter-1 presented under meter-2's name fails:
+		// the verifying identity is derived from the claimed DeviceID.
+		req, err := sd.PrepareDeposit("A1", []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.DeviceID = "ibs-meter-2"
+		_, err = dep.MWS.Deposit(req)
+		wantAuthErr(t, err)
+	})
+	t.Run("ModeConfusion", func(t *testing.T) {
+		// Relabeling an IBS deposit as a MAC deposit must fail (the mode
+		// byte is covered by the signature AND the MAC path can't verify
+		// a signature blob).
+		req, err := sd.PrepareDeposit("A1", []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.AuthMode = wire.AuthModeMAC
+		_, err = dep.MWS.Deposit(req)
+		wantAuthErr(t, err)
+	})
+	t.Run("GarbageSignature", func(t *testing.T) {
+		req, err := sd.PrepareDeposit("A1", []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.MAC = []byte{1, 2, 3}
+		_, err = dep.MWS.Deposit(req)
+		wantAuthErr(t, err)
+	})
+	t.Run("UnknownMode", func(t *testing.T) {
+		req, err := sd.PrepareDeposit("A1", []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.AuthMode = 99
+		_, err = dep.MWS.Deposit(req)
+		var em *wire.ErrorMsg
+		if !errors.As(err, &em) || em.Code != wire.CodeBadRequest {
+			t.Fatalf("err = %v, want bad request", err)
+		}
+	})
+}
+
+func TestIBSDepositReplayRejected(t *testing.T) {
+	dep := newTestDeployment(t)
+	sd, err := dep.NewSigningDevice("ibs-meter-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := sd.PrepareDeposit("A1", []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.MWS.Deposit(req); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dep.MWS.Deposit(req)
+	var em *wire.ErrorMsg
+	if !errors.As(err, &em) || em.Code != wire.CodeReplay {
+		t.Fatalf("replayed IBS deposit: err = %v, want replay error", err)
+	}
+}
+
+func TestMACAndIBSDevicesCoexist(t *testing.T) {
+	dep := newTestDeployment(t)
+	mwsConn, pkgConn := dialBoth(t, dep)
+
+	macDev := newTestDevice(t, dep, "mac-meter")
+	ibsDev, err := dep.NewSigningDevice("ibs-meter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := dep.EnrollClient("rc", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Grant("rc", "A1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := macDev.Deposit(mwsConn, "A1", []byte("from mac device")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ibsDev.Deposit(mwsConn, "A1", []byte("from ibs device")); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := rc.RetrieveAndDecrypt(mwsConn, pkgConn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+}

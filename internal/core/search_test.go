@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestKeywordSearchEndToEnd drives the searchable-encryption extension
+// (related work [1]) over real TCP: a device deposits tagged messages;
+// the RC obtains a trapdoor for "outage" from the PKG and asks the MWS
+// for matching messages only. The MWS filters correctly without ever
+// seeing a keyword in the clear.
+func TestKeywordSearchEndToEnd(t *testing.T) {
+	dep := newTestDeployment(t)
+	mwsConn, pkgConn := dialBoth(t, dep)
+
+	sd := newTestDevice(t, dep, "meter")
+	rc, err := dep.EnrollClient("rc", []byte("pw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Grant("rc", "A1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three messages: two routine, one outage.
+	if _, err := sd.DepositTagged(mwsConn, "A1", []byte("reading 1"), []string{"reading", "billing"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sd.DepositTagged(mwsConn, "A1", []byte("power outage at feeder 7"), []string{"outage", "alert"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sd.DepositTagged(mwsConn, "A1", []byte("reading 2"), []string{"reading"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap: a normal retrieval to obtain ticket + session key.
+	boot, err := rc.Retrieve(mwsConn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boot.Items) != 3 {
+		t.Fatalf("unfiltered retrieval returned %d items", len(boot.Items))
+	}
+	trapdoor, err := rc.FetchTrapdoor(pkgConn, boot, "outage")
+	if err != nil {
+		t.Fatalf("FetchTrapdoor: %v", err)
+	}
+
+	// Filtered retrieval returns exactly the outage message, decryptable
+	// as usual.
+	time.Sleep(10 * time.Millisecond) // fresh authenticator timestamp
+	hits, err := rc.Search(mwsConn, trapdoor, 0, 0)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(hits.Items) != 1 {
+		t.Fatalf("search returned %d items, want 1", len(hits.Items))
+	}
+	keys, _, err := rc.FetchKeys(pkgConn, hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sk := range keys {
+		m, err := rc.Decrypt(&hits.Items[0], sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m.Payload, []byte("power outage at feeder 7")) {
+			t.Fatalf("wrong message matched: %s", m.Payload)
+		}
+	}
+
+	// A keyword with no matches returns an empty set.
+	td2, err := rc.FetchTrapdoor(pkgConn, boot, "no-such-keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	none, err := rc.Search(mwsConn, td2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none.Items) != 0 {
+		t.Fatalf("unmatched keyword returned %d items", len(none.Items))
+	}
+}
+
+// TestSearchRespectsPolicy: the trapdoor does not bypass access control —
+// an RC without the attribute grant sees nothing even with a matching
+// trapdoor.
+func TestSearchRespectsPolicy(t *testing.T) {
+	dep := newTestDeployment(t)
+	mwsConn, pkgConn := dialBoth(t, dep)
+
+	sd := newTestDevice(t, dep, "meter")
+	granted, err := dep.EnrollClient("granted", []byte("pw-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungranted, err := dep.EnrollClient("ungranted", []byte("pw-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Grant("granted", "A1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sd.DepositTagged(mwsConn, "A1", []byte("secret outage"), []string{"outage"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both clients can log in and obtain trapdoors (trapdoor issuance is
+	// keyword-scoped, not attribute-scoped)…
+	gBoot, err := granted.Retrieve(mwsConn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uBoot, err := ungranted.Retrieve(mwsConn, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gTd, err := granted.FetchTrapdoor(pkgConn, gBoot, "outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uTd, err := ungranted.FetchTrapdoor(pkgConn, uBoot, "outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …but only the granted RC's search yields the message: the policy
+	// filter runs before the tag filter.
+	time.Sleep(10 * time.Millisecond)
+	gHits, err := granted.Search(mwsConn, gTd, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gHits.Items) != 1 {
+		t.Fatalf("granted search returned %d", len(gHits.Items))
+	}
+	uHits, err := ungranted.Search(mwsConn, uTd, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uHits.Items) != 0 {
+		t.Fatal("trapdoor bypassed the policy filter")
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"mwskit/internal/store"
+	"mwskit/internal/wal"
+)
+
+// openSharedKV wraps store.OpenKV; split out so core.go reads as pure
+// orchestration.
+func openSharedKV(dir string, sync wal.SyncPolicy) (*store.KV, error) {
+	return store.OpenKV(dir, sync)
+}

@@ -1,0 +1,214 @@
+// Package device implements the smart-device (depositing client) side of
+// the protocol: the paper's SD component (§V.B). A Device knows its
+// identity, the MAC key it shares with the MWS, the PKG's public IBE
+// parameters, and a symmetric scheme; for each message it
+//
+//  1. draws a fresh nonce and derives I = SHA1(A ‖ Nonce),
+//  2. encapsulates a session key K = ê(sP, rI) with transport point rP,
+//  3. seals the payload under K,
+//  4. MACs rP ‖ C ‖ (A ‖ Nonce) ‖ ID_SD ‖ T with the shared key, and
+//  5. ships the deposit frame to the MWS.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/bfibe"
+	"mwskit/internal/ibs"
+	"mwskit/internal/macauth"
+	"mwskit/internal/pairing"
+	"mwskit/internal/symenc"
+	"mwskit/internal/wire"
+)
+
+// Device is a depositing client. Immutable after construction and safe
+// for concurrent deposits.
+type Device struct {
+	id      string
+	macKey  []byte
+	signKey *bfibe.PrivateKey // non-nil selects IBS authentication
+	params  *bfibe.Params
+	scheme  symenc.Scheme
+	rand    io.Reader
+	now     func() time.Time
+}
+
+// Option customizes a Device.
+type Option func(*Device)
+
+// WithScheme selects the symmetric scheme (default AES-128-GCM; the
+// paper's prototype used DES).
+func WithScheme(s symenc.Scheme) Option { return func(d *Device) { d.scheme = s } }
+
+// WithRand overrides the entropy source.
+func WithRand(r io.Reader) Option { return func(d *Device) { d.rand = r } }
+
+// WithClock overrides the timestamp source.
+func WithClock(now func() time.Time) Option { return func(d *Device) { d.now = now } }
+
+// WithSigningKey switches the device to identity-based signature
+// authentication (wire.AuthModeIBS): deposits are signed under the
+// device's PKG-extracted key instead of MACed with a shared key. The
+// paper's §VIII sketches exactly this to drop per-device shared secrets.
+func WithSigningKey(sk *bfibe.PrivateKey) Option { return func(d *Device) { d.signKey = sk } }
+
+// NewSigning builds a Device that authenticates with an IBS key only (no
+// MAC key is needed or held).
+func NewSigning(id string, signKey *bfibe.PrivateKey, params *bfibe.Params, opts ...Option) (*Device, error) {
+	if signKey == nil {
+		return nil, errors.New("device: nil signing key")
+	}
+	return New(id, nil, params, append([]Option{WithSigningKey(signKey)}, opts...)...)
+}
+
+// New builds a Device from its registration artifacts.
+func New(id string, macKey []byte, params *bfibe.Params, opts ...Option) (*Device, error) {
+	if id == "" {
+		return nil, errors.New("device: empty device ID")
+	}
+	if params == nil {
+		return nil, errors.New("device: nil IBE parameters")
+	}
+	d := &Device{
+		id:     id,
+		macKey: macKey,
+		params: params,
+		scheme: symenc.Default(),
+		rand:   attr.RandReader,
+		now:    time.Now,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.signKey == nil && len(d.macKey) != macauth.KeyLen {
+		return nil, fmt.Errorf("device: MAC key must be %d bytes", macauth.KeyLen)
+	}
+	return d, nil
+}
+
+// ID returns the device identity.
+func (d *Device) ID() string { return d.id }
+
+// Scheme returns the symmetric scheme in use.
+func (d *Device) Scheme() symenc.Scheme { return d.scheme }
+
+// PrepareDeposit performs the full client-side cryptography for one
+// message, returning the wire request ready to send. Exposed separately
+// from Deposit so benchmarks and offline pipelines can exercise the
+// cryptographic path without a network.
+func (d *Device) PrepareDeposit(a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
+	req, err := d.prepareUnsigned(a, payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.authenticate(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// prepareUnsigned builds the deposit envelope without its authenticator,
+// so variants (tagged deposits) can extend the request before signing.
+func (d *Device) prepareUnsigned(a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	nonce, err := attr.NewNonce(d.rand)
+	if err != nil {
+		return nil, err
+	}
+	identity := attr.Identity(a, nonce)
+	enc, key, err := d.params.Encapsulate(identity, d.scheme.KeyLen(), d.rand)
+	if err != nil {
+		return nil, fmt.Errorf("device: encapsulate: %w", err)
+	}
+	u := bfibe.MarshalEncapsulation(d.params, enc)
+	ts := d.now().Unix()
+	aad := wire.MessageAAD(d.id, ts, nonce[:], u)
+	ct, err := d.scheme.Seal(key, payload, aad)
+	if err != nil {
+		return nil, fmt.Errorf("device: seal: %w", err)
+	}
+	req := &wire.DepositRequest{
+		DeviceID:   d.id,
+		Timestamp:  ts,
+		Attribute:  string(a),
+		Nonce:      nonce[:],
+		U:          u,
+		Ciphertext: ct,
+		Scheme:     d.scheme.Name(),
+	}
+	return req, nil
+}
+
+// authenticate attaches the deposit authenticator (IBS signature or MAC).
+func (d *Device) authenticate(req *wire.DepositRequest) error {
+	if d.signKey != nil {
+		req.AuthMode = wire.AuthModeIBS
+		sig, err := ibs.Sign(d.params, d.signKey, req.AuthBytes(), d.rand)
+		if err != nil {
+			return fmt.Errorf("device: sign: %w", err)
+		}
+		req.MAC = sig.Marshal(d.params)
+		return nil
+	}
+	req.AuthMode = wire.AuthModeMAC
+	req.MAC = macauth.Compute(d.macKey, req.MACParts()...)
+	return nil
+}
+
+// Deposit prepares and sends one message through an open MWS connection,
+// returning the warehouse-assigned sequence number.
+func (d *Device) Deposit(mws *wire.Client, a attr.Attribute, payload []byte) (uint64, error) {
+	req, err := d.PrepareDeposit(a, payload)
+	if err != nil {
+		return 0, err
+	}
+	return d.send(mws, req)
+}
+
+// send ships a prepared deposit and decodes the acknowledgement.
+func (d *Device) send(mws *wire.Client, req *wire.DepositRequest) (uint64, error) {
+	resp, err := mws.Do(wire.Frame{Type: wire.TDeposit, Payload: req.Marshal()})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != wire.TDepositResp {
+		return 0, fmt.Errorf("device: unexpected response type %s", resp.Type)
+	}
+	dr, err := wire.UnmarshalDepositResponse(resp.Payload)
+	if err != nil {
+		return 0, err
+	}
+	return dr.Seq, nil
+}
+
+// FetchParams retrieves the public IBE parameters from a PKG connection
+// and instantiates them against the named preset — the paper's "SD
+// obtains the parameters [from the PKG] and uses them later" (§VIII).
+func FetchParams(pkg *wire.Client) (*bfibe.Params, error) {
+	resp, err := pkg.Do(wire.Frame{Type: wire.TParams})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != wire.TParamsResp {
+		return nil, fmt.Errorf("device: unexpected response type %s", resp.Type)
+	}
+	pr, err := wire.UnmarshalParamsResponse(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	preset, ok := pairing.Presets[pr.Preset]
+	if !ok {
+		return nil, fmt.Errorf("device: server uses unknown preset %q", pr.Preset)
+	}
+	sys, err := preset.System()
+	if err != nil {
+		return nil, err
+	}
+	return bfibe.UnmarshalParams(sys, pr.PPub)
+}

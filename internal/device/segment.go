@@ -1,0 +1,43 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"mwskit/internal/segment"
+	"mwskit/internal/wire"
+)
+
+// DepositSegments splits one logical device message into parts, each
+// encrypted toward its own attribute, and deposits them as a correlated
+// segment group (the paper's §VIII segmentation extension). It returns
+// the group ID and the per-part sequence numbers.
+//
+// Confidentiality property: a receiving client granted only some of the
+// part attributes receives — and can decrypt — only those parts.
+func (d *Device) DepositSegments(mws *wire.Client, parts []segment.Part) (segment.GroupID, []uint64, error) {
+	if len(parts) == 0 {
+		return segment.GroupID{}, nil, errors.New("device: no segments")
+	}
+	if len(parts) > 255 {
+		return segment.GroupID{}, nil, fmt.Errorf("device: %d segments exceeds limit 255", len(parts))
+	}
+	group, err := segment.NewGroupID(d.rand)
+	if err != nil {
+		return segment.GroupID{}, nil, err
+	}
+	seqs := make([]uint64, len(parts))
+	total := uint8(len(parts))
+	for i, part := range parts {
+		wrapped, err := segment.Wrap(group, uint8(i), total, part.Body)
+		if err != nil {
+			return segment.GroupID{}, nil, err
+		}
+		seq, err := d.Deposit(mws, part.Attribute, wrapped)
+		if err != nil {
+			return segment.GroupID{}, nil, fmt.Errorf("device: segment %d: %w", i, err)
+		}
+		seqs[i] = seq
+	}
+	return group, seqs, nil
+}

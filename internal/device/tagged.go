@@ -1,0 +1,43 @@
+package device
+
+import (
+	"fmt"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/peks"
+	"mwskit/internal/wire"
+)
+
+// PrepareTaggedDeposit is PrepareDeposit plus PEKS keyword tags: each
+// keyword is encrypted into a searchable tag the warehouse can match
+// against PKG-issued trapdoors without ever learning the keyword
+// (related work [1], searchable encrypted audit logs).
+func (d *Device) PrepareTaggedDeposit(a attr.Attribute, payload []byte, keywords []string) (*wire.DepositRequest, error) {
+	if len(keywords) > wire.MaxTags {
+		return nil, fmt.Errorf("device: %d keywords exceeds limit %d", len(keywords), wire.MaxTags)
+	}
+	req, err := d.prepareUnsigned(a, payload)
+	if err != nil {
+		return nil, err
+	}
+	for _, kw := range keywords {
+		tag, err := peks.NewTag(d.params, kw, d.rand)
+		if err != nil {
+			return nil, fmt.Errorf("device: tag %q: %w", kw, err)
+		}
+		req.Tags = append(req.Tags, peks.MarshalTag(d.params, tag))
+	}
+	if err := d.authenticate(req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DepositTagged sends a tagged deposit through an open MWS connection.
+func (d *Device) DepositTagged(mws *wire.Client, a attr.Attribute, payload []byte, keywords []string) (uint64, error) {
+	req, err := d.PrepareTaggedDeposit(a, payload, keywords)
+	if err != nil {
+		return 0, err
+	}
+	return d.send(mws, req)
+}

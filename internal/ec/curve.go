@@ -1,0 +1,212 @@
+// Package ec implements arithmetic on the supersingular elliptic curve
+//
+//	E: y² = x³ + x  over F_p,  p ≡ 3 (mod 4)
+//
+// used by the pairing layer. The curve is supersingular with
+// #E(F_p) = p + 1 and embedding degree 2, which is exactly the family of
+// curves Boneh and Franklin proposed for identity-based encryption. The
+// order-q subgroup (q | p+1) serves as the pairing group G1; the distortion
+// map φ(x, y) = (−x, i·y) carries G1 into a linearly independent subgroup
+// over F_p², making the modified Tate pairing non-degenerate on G1×G1.
+//
+// Points are immutable values; arithmetic is affine for clarity with a
+// Jacobian fast path for scalar multiplication.
+package ec
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"mwskit/internal/ff"
+)
+
+// Curve describes E: y² = x³ + x over a specific prime field together with
+// the subgroup order q and cofactor h = (p+1)/q. Immutable after creation.
+type Curve struct {
+	F *ff.Field // base field F_p
+	Q *big.Int  // prime order of the pairing subgroup G1
+	H *big.Int  // cofactor, (p+1)/q
+}
+
+// NewCurve validates that q·h = p+1 and returns the curve descriptor.
+func NewCurve(f *ff.Field, q *big.Int) (*Curve, error) {
+	if f == nil || q == nil || q.Sign() <= 0 {
+		return nil, errors.New("ec: nil field or non-positive subgroup order")
+	}
+	pp1 := new(big.Int).Add(f.P(), big.NewInt(1))
+	h, rem := new(big.Int).QuoRem(pp1, q, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, errors.New("ec: subgroup order q does not divide p+1")
+	}
+	return &Curve{F: f, Q: new(big.Int).Set(q), H: h}, nil
+}
+
+// MustCurve is NewCurve that panics on error, for vetted parameter sets.
+func MustCurve(f *ff.Field, q *big.Int) *Curve {
+	c, err := NewCurve(f, q)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Point is a point of E(F_p) in affine coordinates, with the point at
+// infinity represented by Inf == true. Points are immutable values.
+type Point struct {
+	X, Y ff.Element
+	Inf  bool
+}
+
+// Infinity returns the identity element of the curve group.
+func (c *Curve) Infinity() Point { return Point{Inf: true} }
+
+// NewPoint validates that (x, y) satisfies the curve equation.
+func (c *Curve) NewPoint(x, y ff.Element) (Point, error) {
+	p := Point{X: x, Y: y}
+	if !c.IsOnCurve(p) {
+		return Point{}, errors.New("ec: point is not on the curve")
+	}
+	return p, nil
+}
+
+// IsOnCurve reports whether p satisfies y² = x³ + x (infinity counts).
+func (c *Curve) IsOnCurve(p Point) bool {
+	if p.Inf {
+		return true
+	}
+	lhs := p.Y.Square()
+	rhs := p.X.Square().Mul(p.X).Add(p.X)
+	return lhs.Equal(rhs)
+}
+
+// Equal reports whether two points are the same.
+func (p Point) Equal(q Point) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return p.X.Equal(q.X) && p.Y.Equal(q.Y)
+}
+
+// Neg returns −p, the reflection across the x-axis.
+func (p Point) Neg() Point {
+	if p.Inf {
+		return p
+	}
+	return Point{X: p.X, Y: p.Y.Neg()}
+}
+
+// Add returns p + q using the affine chord-and-tangent rules.
+func (c *Curve) Add(p, q Point) Point {
+	if p.Inf {
+		return q
+	}
+	if q.Inf {
+		return p
+	}
+	if p.X.Equal(q.X) {
+		if p.Y.Equal(q.Y.Neg()) {
+			return c.Infinity()
+		}
+		return c.Double(p)
+	}
+	// λ = (y2 − y1)/(x2 − x1)
+	lam := q.Y.Sub(p.Y).Mul(q.X.Sub(p.X).Inv())
+	x3 := lam.Square().Sub(p.X).Sub(q.X)
+	y3 := lam.Mul(p.X.Sub(x3)).Sub(p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Double returns 2p. The curve has a = 1, so λ = (3x² + 1)/(2y).
+func (c *Curve) Double(p Point) Point {
+	if p.Inf {
+		return p
+	}
+	if p.Y.IsZero() {
+		return c.Infinity()
+	}
+	num := p.X.Square().MulInt64(3).Add(c.F.One())
+	lam := num.Mul(p.Y.Double().Inv())
+	x3 := lam.Square().Sub(p.X.Double())
+	y3 := lam.Mul(p.X.Sub(x3)).Sub(p.Y)
+	return Point{X: x3, Y: y3}
+}
+
+// Sub returns p − q.
+func (c *Curve) Sub(p, q Point) Point { return c.Add(p, q.Neg()) }
+
+// ScalarMult returns k·p for any integer k (negative k uses −p). It
+// delegates to Jacobian coordinates to avoid a field inversion per bit.
+func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
+	if p.Inf || k.Sign() == 0 {
+		return c.Infinity()
+	}
+	kk := k
+	if k.Sign() < 0 {
+		kk = new(big.Int).Neg(k)
+		p = p.Neg()
+	}
+	j := c.toJacobian(p)
+	r := c.jacInfinity()
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		r = c.jacDouble(r)
+		if kk.Bit(i) == 1 {
+			r = c.jacAdd(r, j)
+		}
+	}
+	return c.fromJacobian(r)
+}
+
+// ScalarBaseOrderCheck reports whether p lies in the order-q subgroup.
+func (c *Curve) ScalarBaseOrderCheck(p Point) bool {
+	return c.ScalarMult(p, c.Q).Inf
+}
+
+// ClearCofactor multiplies by h = (p+1)/q, projecting a curve point into
+// the pairing subgroup G1.
+func (c *Curve) ClearCofactor(p Point) Point { return c.ScalarMult(p, c.H) }
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	if p.Inf {
+		return "∞"
+	}
+	return fmt.Sprintf("(%s, %s)", p.X, p.Y)
+}
+
+// Bytes encodes a point as 1 tag byte (0 = infinity, 4 = affine) followed
+// by two fixed-width coordinates for affine points.
+func (c *Curve) Bytes(p Point) []byte {
+	if p.Inf {
+		return []byte{0}
+	}
+	out := make([]byte, 0, 1+2*c.F.ByteLen())
+	out = append(out, 4)
+	out = append(out, p.X.Bytes()...)
+	out = append(out, p.Y.Bytes()...)
+	return out
+}
+
+// PointFromBytes decodes the encoding produced by Bytes, validating curve
+// membership.
+func (c *Curve) PointFromBytes(b []byte) (Point, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return c.Infinity(), nil
+	}
+	want := 1 + 2*c.F.ByteLen()
+	if len(b) != want || b[0] != 4 {
+		return Point{}, fmt.Errorf("ec: malformed point encoding (len %d)", len(b))
+	}
+	x, err := c.F.FromBytes(b[1 : 1+c.F.ByteLen()])
+	if err != nil {
+		return Point{}, err
+	}
+	y, err := c.F.FromBytes(b[1+c.F.ByteLen():])
+	if err != nil {
+		return Point{}, err
+	}
+	return c.NewPoint(x, y)
+}
+
+// PointByteLen returns the length of an affine point encoding.
+func (c *Curve) PointByteLen() int { return 1 + 2*c.F.ByteLen() }

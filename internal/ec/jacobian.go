@@ -1,0 +1,85 @@
+package ec
+
+import "mwskit/internal/ff"
+
+// Jacobian coordinates (X, Y, Z) represent the affine point (X/Z², Y/Z³);
+// Z = 0 is the point at infinity. Using them inside scalar multiplication
+// replaces the per-step field inversion of affine addition with a single
+// inversion at the end, which dominates the cost profile of the Miller
+// loop's supporting scalar arithmetic.
+//
+// The doubling formula is specialized for the curve coefficient a = 1
+// (E: y² = x³ + x): M = 3X² + Z⁴.
+
+type jacPoint struct {
+	x, y, z ff.Element
+}
+
+func (c *Curve) jacInfinity() jacPoint {
+	return jacPoint{x: c.F.One(), y: c.F.One(), z: c.F.Zero()}
+}
+
+func (j jacPoint) isInf() bool { return j.z.IsZero() }
+
+func (c *Curve) toJacobian(p Point) jacPoint {
+	if p.Inf {
+		return c.jacInfinity()
+	}
+	return jacPoint{x: p.X, y: p.Y, z: c.F.One()}
+}
+
+func (c *Curve) fromJacobian(j jacPoint) Point {
+	if j.isInf() {
+		return c.Infinity()
+	}
+	zi := j.z.Inv()
+	zi2 := zi.Square()
+	return Point{X: j.x.Mul(zi2), Y: j.y.Mul(zi2).Mul(zi)}
+}
+
+// jacDouble returns 2j with the a = 1 doubling formula.
+func (c *Curve) jacDouble(j jacPoint) jacPoint {
+	if j.isInf() || j.y.IsZero() {
+		return c.jacInfinity()
+	}
+	ySq := j.y.Square()
+	s := j.x.Mul(ySq).MulInt64(4)                   // S = 4·X·Y²
+	zSq := j.z.Square()                             //
+	m := j.x.Square().MulInt64(3).Add(zSq.Square()) // M = 3X² + a·Z⁴, a = 1
+	x3 := m.Square().Sub(s.Double())                // X' = M² − 2S
+	y3 := m.Mul(s.Sub(x3)).Sub(ySq.Square().MulInt64(8))
+	z3 := j.y.Mul(j.z).Double()
+	return jacPoint{x: x3, y: y3, z: z3}
+}
+
+// jacAdd returns j + k (general addition; falls back to doubling when the
+// operands coincide).
+func (c *Curve) jacAdd(j, k jacPoint) jacPoint {
+	if j.isInf() {
+		return k
+	}
+	if k.isInf() {
+		return j
+	}
+	z1Sq := j.z.Square()
+	z2Sq := k.z.Square()
+	u1 := j.x.Mul(z2Sq)
+	u2 := k.x.Mul(z1Sq)
+	s1 := j.y.Mul(z2Sq).Mul(k.z)
+	s2 := k.y.Mul(z1Sq).Mul(j.z)
+	if u1.Equal(u2) {
+		if s1.Equal(s2) {
+			return c.jacDouble(j)
+		}
+		return c.jacInfinity()
+	}
+	h := u2.Sub(u1)
+	r := s2.Sub(s1)
+	hSq := h.Square()
+	hCu := hSq.Mul(h)
+	u1hSq := u1.Mul(hSq)
+	x3 := r.Square().Sub(hCu).Sub(u1hSq.Double())
+	y3 := r.Mul(u1hSq.Sub(x3)).Sub(s1.Mul(hCu))
+	z3 := j.z.Mul(k.z).Mul(h)
+	return jacPoint{x: x3, y: y3, z: z3}
+}

@@ -1,0 +1,10 @@
+// Package ff implements the finite fields used by the pairing layer:
+// the prime field F_p and its quadratic extension F_p² = F_p[i]/(i²+1).
+//
+// The extension is constructed as a+bi with i² = −1, which requires the
+// field characteristic p ≡ 3 (mod 4) so that −1 is a quadratic non-residue
+// and x²+1 is irreducible. All parameter sets in internal/pairing satisfy
+// this. Arithmetic is built on math/big; values are immutable from the
+// caller's perspective (operations return fresh elements) so elements may
+// be shared freely across goroutines.
+package ff

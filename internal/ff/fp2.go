@@ -1,0 +1,143 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// E2 is an element of F_p² = F_p[i]/(i²+1), stored as A + B·i.
+// Like Element, values are immutable and safe to share.
+type E2 struct {
+	A Element // real part
+	B Element // imaginary part
+}
+
+// NewE2 builds an F_p² element from its two coordinates, which must belong
+// to the same field.
+func NewE2(a, b Element) E2 {
+	if a.f != b.f {
+		panic("ff: E2 coordinates from different fields")
+	}
+	return E2{A: a, B: b}
+}
+
+// E2FromBase embeds an F_p element into F_p².
+func E2FromBase(a Element) E2 { return E2{A: a, B: a.f.Zero()} }
+
+// E2Zero returns the additive identity of F_p².
+func (f *Field) E2Zero() E2 { return E2{A: f.Zero(), B: f.Zero()} }
+
+// E2One returns the multiplicative identity of F_p².
+func (f *Field) E2One() E2 { return E2{A: f.One(), B: f.Zero()} }
+
+// E2Random returns a uniformly random element of F_p².
+func (f *Field) E2Random(r io.Reader) (E2, error) {
+	a, err := f.Random(r)
+	if err != nil {
+		return E2{}, err
+	}
+	b, err := f.Random(r)
+	if err != nil {
+		return E2{}, err
+	}
+	return E2{A: a, B: b}, nil
+}
+
+// E2FromBytes decodes the 2·ByteLen fixed-width encoding produced by Bytes.
+func (f *Field) E2FromBytes(b []byte) (E2, error) {
+	if len(b) != 2*f.byteLen {
+		return E2{}, fmt.Errorf("ff: F_p² encoding must be %d bytes, got %d", 2*f.byteLen, len(b))
+	}
+	a, err := f.FromBytes(b[:f.byteLen])
+	if err != nil {
+		return E2{}, err
+	}
+	bb, err := f.FromBytes(b[f.byteLen:])
+	if err != nil {
+		return E2{}, err
+	}
+	return E2{A: a, B: bb}, nil
+}
+
+// Bytes returns the concatenated fixed-width encodings of the two parts.
+func (x E2) Bytes() []byte { return append(x.A.Bytes(), x.B.Bytes()...) }
+
+// IsZero reports whether x is the additive identity.
+func (x E2) IsZero() bool { return x.A.IsZero() && x.B.IsZero() }
+
+// IsOne reports whether x is the multiplicative identity.
+func (x E2) IsOne() bool { return x.A.IsOne() && x.B.IsZero() }
+
+// Equal reports whether x == y.
+func (x E2) Equal(y E2) bool { return x.A.Equal(y.A) && x.B.Equal(y.B) }
+
+// Add returns x + y.
+func (x E2) Add(y E2) E2 { return E2{A: x.A.Add(y.A), B: x.B.Add(y.B)} }
+
+// Sub returns x − y.
+func (x E2) Sub(y E2) E2 { return E2{A: x.A.Sub(y.A), B: x.B.Sub(y.B)} }
+
+// Neg returns −x.
+func (x E2) Neg() E2 { return E2{A: x.A.Neg(), B: x.B.Neg()} }
+
+// Conjugate returns A − B·i, which equals x^p when p ≡ 3 (mod 4).
+func (x E2) Conjugate() E2 { return E2{A: x.A, B: x.B.Neg()} }
+
+// Mul returns x · y using the schoolbook formula
+// (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
+func (x E2) Mul(y E2) E2 {
+	ac := x.A.Mul(y.A)
+	bd := x.B.Mul(y.B)
+	ad := x.A.Mul(y.B)
+	bc := x.B.Mul(y.A)
+	return E2{A: ac.Sub(bd), B: ad.Add(bc)}
+}
+
+// MulScalar returns x scaled by a base-field element.
+func (x E2) MulScalar(s Element) E2 { return E2{A: x.A.Mul(s), B: x.B.Mul(s)} }
+
+// Square returns x² via (a+bi)² = (a+b)(a−b) + 2ab·i.
+func (x E2) Square() E2 {
+	sum := x.A.Add(x.B)
+	dif := x.A.Sub(x.B)
+	ab := x.A.Mul(x.B)
+	return E2{A: sum.Mul(dif), B: ab.Double()}
+}
+
+// Norm returns a² + b² ∈ F_p, the field norm of x.
+func (x E2) Norm() Element { return x.A.Square().Add(x.B.Square()) }
+
+// Inv returns x⁻¹ = conj(x)/norm(x). It panics if x is zero.
+func (x E2) Inv() E2 {
+	n := x.Norm()
+	if n.IsZero() {
+		panic("ff: inverse of zero in F_p²")
+	}
+	ni := n.Inv()
+	return E2{A: x.A.Mul(ni), B: x.B.Neg().Mul(ni)}
+}
+
+// Exp returns x^k for a non-negative exponent, by square-and-multiply.
+func (x E2) Exp(k *big.Int) E2 {
+	f := x.A.f
+	if k.Sign() == 0 {
+		return f.E2One()
+	}
+	r := f.E2One()
+	base := x
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		r = r.Square()
+		if k.Bit(i) == 1 {
+			r = r.Mul(base)
+		}
+	}
+	return r
+}
+
+// Frobenius returns x^p. For p ≡ 3 (mod 4), i^p = −i, so this is the
+// conjugate; kept as a named operation for clarity at call sites.
+func (x E2) Frobenius() E2 { return x.Conjugate() }
+
+// String implements fmt.Stringer.
+func (x E2) String() string { return fmt.Sprintf("(%s + %s·i)", x.A, x.B) }

@@ -1,0 +1,137 @@
+package keyserver
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"mwskit/internal/peks"
+	"mwskit/internal/symenc"
+	"mwskit/internal/ticket"
+	"mwskit/internal/wire"
+)
+
+func sealKeyword(t *testing.T, sessionKey []byte, kw string) []byte {
+	t.Helper()
+	scheme, err := symenc.ByName("AES-256-GCM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := scheme.Seal(sessionKey, []byte(kw), []byte("mwskit/keyserver/trapdoor/v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sealed
+}
+
+func TestTrapdoorHappyPath(t *testing.T) {
+	s, key, clock := newTestPKG(t)
+	tb, sk := mintTicket(t, key, "auditor", nil, clock.Now())
+
+	resp, err := s.Trapdoor(&wire.TrapdoorRequest{
+		RC:            "auditor",
+		TicketBlob:    tb,
+		Authenticator: authBlob(t, sk, "auditor", clock.Now()),
+		SealedKeyword: sealKeyword(t, sk, "outage"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseal and verify the trapdoor matches a tag for the keyword.
+	scheme, _ := symenc.ByName("AES-256-GCM")
+	raw, err := scheme.Open(sk, resp.SealedTrapdoor, []byte("mwskit/keyserver/trapdoor/v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := peks.UnmarshalTrapdoor(s.Params(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, err := peks.NewTag(s.Params(), "outage", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !peks.Test(s.Params(), tag, td) {
+		t.Fatal("issued trapdoor does not match its keyword")
+	}
+	other, err := peks.NewTag(s.Params(), "reading", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peks.Test(s.Params(), other, td) {
+		t.Fatal("issued trapdoor matches a different keyword")
+	}
+}
+
+func TestTrapdoorAuthFailures(t *testing.T) {
+	s, key, clock := newTestPKG(t)
+	tb, sk := mintTicket(t, key, "auditor", nil, clock.Now())
+
+	t.Run("ForgedTicket", func(t *testing.T) {
+		otherKey := make([]byte, 32)
+		rand.Read(otherKey)
+		fb, fsk := mintTicket(t, otherKey, "auditor", nil, clock.Now())
+		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+			RC: "auditor", TicketBlob: fb,
+			Authenticator: authBlob(t, fsk, "auditor", clock.Now()),
+			SealedKeyword: sealKeyword(t, fsk, "kw"),
+		})
+		if code := wireCode(t, err); code != wire.CodeAuth {
+			t.Fatalf("code = %d", code)
+		}
+	})
+	t.Run("WrongSessionKeyKeyword", func(t *testing.T) {
+		wrongSK, _ := ticket.NewSessionKey(rand.Reader)
+		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+			RC: "auditor", TicketBlob: tb,
+			Authenticator: authBlob(t, sk, "auditor", clock.Now()),
+			SealedKeyword: sealKeyword(t, wrongSK, "kw"),
+		})
+		if code := wireCode(t, err); code != wire.CodeBadRequest {
+			t.Fatalf("code = %d", code)
+		}
+	})
+	t.Run("ReplayedAuthenticator", func(t *testing.T) {
+		ab := authBlob(t, sk, "auditor", clock.Now())
+		req := &wire.TrapdoorRequest{
+			RC: "auditor", TicketBlob: tb,
+			Authenticator: ab,
+			SealedKeyword: sealKeyword(t, sk, "kw"),
+		}
+		if _, err := s.Trapdoor(req); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Trapdoor(req)
+		if code := wireCode(t, err); code != wire.CodeReplay {
+			t.Fatalf("code = %d", code)
+		}
+	})
+	t.Run("RCMismatch", func(t *testing.T) {
+		clock.Advance(time.Second)
+		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+			RC: "impostor", TicketBlob: tb,
+			Authenticator: authBlob(t, sk, "impostor", clock.Now()),
+			SealedKeyword: sealKeyword(t, sk, "kw"),
+		})
+		if code := wireCode(t, err); code != wire.CodeAuth {
+			t.Fatalf("code = %d", code)
+		}
+	})
+}
+
+func TestTrapdoorFrameDispatch(t *testing.T) {
+	s, key, clock := newTestPKG(t)
+	tb, sk := mintTicket(t, key, "rc", nil, clock.Now())
+	req := wire.TrapdoorRequest{
+		RC: "rc", TicketBlob: tb,
+		Authenticator: authBlob(t, sk, "rc", clock.Now()),
+		SealedKeyword: sealKeyword(t, sk, "kw"),
+	}
+	resp := s.HandleFrame(wire.Frame{Type: wire.TTrapdoor, Payload: req.Marshal()})
+	if resp.Type != wire.TTrapdoorResp {
+		t.Fatalf("frame dispatch -> %s", resp.Type)
+	}
+	if bad := s.HandleFrame(wire.Frame{Type: wire.TTrapdoor, Payload: []byte{1}}); bad.Type != wire.TError {
+		t.Fatal("garbage trapdoor frame accepted")
+	}
+}

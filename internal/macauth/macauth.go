@@ -1,0 +1,162 @@
+// Package macauth implements the smart-device authentication path of the
+// paper (§V.B, Smart Device Authenticator): every deposited message
+// carries MAC = H_K(SecK_SD-MWS, rP ‖ C ‖ Nonce ‖ ID_SD ‖ T), computed
+// with a symmetric key shared at device registration. The SDA recomputes
+// the MAC, verifies freshness of the timestamp, and rejects replays.
+//
+// The paper's H_K is instantiated as HMAC-SHA256; per-device keys live in
+// a KV-backed key-management service, and a replay guard remembers
+// recently accepted MACs within the freshness window.
+package macauth
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mwskit/internal/store"
+	"mwskit/internal/wal"
+)
+
+// KeyLen is the byte length of device MAC keys.
+const KeyLen = 32
+
+// Compute returns HMAC-SHA256 over the length-delimited parts. Parts are
+// length-prefixed so field boundaries can never be confused (e.g. a
+// ciphertext ending in the device ID's bytes).
+func Compute(key []byte, parts ...[]byte) []byte {
+	m := hmac.New(sha256.New, key)
+	var lenBuf [4]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		m.Write(lenBuf[:])
+		m.Write(p)
+	}
+	return m.Sum(nil)
+}
+
+// Verify reports whether mac authenticates the parts under key, in
+// constant time.
+func Verify(key, mac []byte, parts ...[]byte) bool {
+	return hmac.Equal(mac, Compute(key, parts...))
+}
+
+// KeyService is the key-management component the SDA consults (§V.B):
+// a durable map from device identity to its shared MAC key.
+type KeyService struct {
+	mu sync.RWMutex
+	kv *store.KV
+}
+
+// OpenKeyService opens (or creates) the device-key store at dir.
+func OpenKeyService(dir string, sync wal.SyncPolicy) (*KeyService, error) {
+	kv, err := store.OpenKV(dir, sync)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyService{kv: kv}, nil
+}
+
+// Register draws a fresh key for the device and stores it, returning the
+// key for delivery to the device over the registration channel (the
+// paper leaves the initial exchange out of scope; so do we).
+func (ks *KeyService) Register(deviceID string, rng io.Reader) ([]byte, error) {
+	if deviceID == "" {
+		return nil, errors.New("macauth: empty device ID")
+	}
+	key := make([]byte, KeyLen)
+	if _, err := io.ReadFull(rng, key); err != nil {
+		return nil, fmt.Errorf("macauth: keygen: %w", err)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if _, exists := ks.kv.Get(deviceID); exists {
+		return nil, fmt.Errorf("macauth: device %q already registered", deviceID)
+	}
+	if err := ks.kv.Put(deviceID, key); err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Key returns the shared key for a registered device.
+func (ks *KeyService) Key(deviceID string) ([]byte, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.kv.Get(deviceID)
+}
+
+// Revoke removes a device's key; subsequent deposits from it fail
+// authentication.
+func (ks *KeyService) Revoke(deviceID string) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.kv.Delete(deviceID)
+}
+
+// Devices lists registered device IDs, sorted.
+func (ks *KeyService) Devices() []string { return ks.kv.Keys() }
+
+// Close releases the underlying store.
+func (ks *KeyService) Close() error { return ks.kv.Close() }
+
+// RandReader is the default entropy source for Register.
+var RandReader io.Reader = rand.Reader
+
+// ReplayGuard rejects MACs it has already accepted within the freshness
+// window. Entries older than the window are pruned lazily, so memory is
+// bounded by the accept rate × window.
+type ReplayGuard struct {
+	window time.Duration
+
+	mu   sync.Mutex
+	seen map[string]time.Time
+}
+
+// NewReplayGuard builds a guard with the given freshness window.
+func NewReplayGuard(window time.Duration) *ReplayGuard {
+	return &ReplayGuard{window: window, seen: make(map[string]time.Time)}
+}
+
+// Errors returned by Check.
+var (
+	ErrStale  = errors.New("macauth: timestamp outside freshness window")
+	ErrReplay = errors.New("macauth: message replayed")
+)
+
+// Check validates freshness of ts against now and records the MAC,
+// rejecting exact replays. It must be called only after MAC verification
+// succeeds (a forged MAC must not pollute the cache).
+func (g *ReplayGuard) Check(mac []byte, ts, now time.Time) error {
+	if d := now.Sub(ts); d > g.window || d < -g.window {
+		return ErrStale
+	}
+	key := string(mac)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Lazy prune: drop expired entries while we hold the lock.
+	cutoff := now.Add(-2 * g.window)
+	for k, t := range g.seen {
+		if t.Before(cutoff) {
+			delete(g.seen, k)
+		}
+	}
+	if _, dup := g.seen[key]; dup {
+		return ErrReplay
+	}
+	g.seen[key] = now
+	return nil
+}
+
+// Len reports the number of cached MACs (for tests and metrics).
+func (g *ReplayGuard) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}

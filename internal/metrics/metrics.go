@@ -1,0 +1,125 @@
+// Package metrics provides the lightweight instrumentation the benchmark
+// harness uses to report latency distributions and throughput — the
+// numbers the paper's evaluation never published but its §III(iv)
+// scalability requirement demands.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and reports percentile statistics. Safe for
+// concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Snapshot summarizes the recorded samples.
+type Snapshot struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P90, P99  time.Duration
+	Total          time.Duration
+}
+
+// Snapshot computes the distribution summary.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	samples := make([]time.Duration, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return Snapshot{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	pct := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	return Snapshot{
+		Count: len(samples),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		Mean:  total / time.Duration(len(samples)),
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+		Total: total,
+	}
+}
+
+// String renders the snapshot as one report row.
+func (s Snapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v p90=%v p99=%v max=%v mean=%v",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}
+
+// Throughput converts a count over a duration to operations/second.
+func Throughput(count int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(count) / elapsed.Seconds()
+}
+
+// Counter is a concurrent monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

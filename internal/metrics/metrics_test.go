@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.String() != "n=0" {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P90 != 90*time.Millisecond {
+		t.Fatalf("p90 = %v", s.P90)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	wantMean := 50500 * time.Microsecond
+	if s.Mean != wantMean {
+		t.Fatalf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7 * time.Millisecond)
+	s := h.Snapshot()
+	if s.P50 != 7*time.Millisecond || s.P99 != 7*time.Millisecond || s.Mean != 7*time.Millisecond {
+		t.Fatalf("single-sample snapshot wrong: %+v", s)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	h := NewHistogram()
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if h.Count() != 1 {
+		t.Fatal("Time did not record")
+	}
+	if h.Snapshot().Min < time.Millisecond {
+		t.Fatal("recorded duration implausibly small")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, time.Second); got != 100 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(50, 500*time.Millisecond); got != 100 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("zero-duration Throughput = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}

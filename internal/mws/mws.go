@@ -1,0 +1,418 @@
+// Package mws implements the Message Warehousing Service: the central
+// intermediary of the paper, assembled from the architectural components
+// of Figure 3 —
+//
+//	Smart Device Authenticator (SDA) — MAC-verifies deposits
+//	Message Database (MD)            — internal/store.MessageStore
+//	Message Management System (MMS)  — policy-filtered retrieval
+//	Policy Database (PD)             — internal/policy.DB (Table 1)
+//	Token Generator (TG)             — internal/ticket
+//	User Database (UD)               — internal/userdb
+//	Gatekeeper                       — RC authentication front door
+//
+// The MWS stores only ciphertext: it authenticates devices, enforces the
+// identity→attribute policy, and brokers the PKG handshake, but never
+// holds key material capable of decrypting a message — the paper's
+// end-to-end confidentiality requirement (§III i).
+package mws
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/bfibe"
+	"mwskit/internal/ibs"
+	"mwskit/internal/macauth"
+	"mwskit/internal/peks"
+	"mwskit/internal/policy"
+	"mwskit/internal/policyrule"
+	"mwskit/internal/store"
+	"mwskit/internal/ticket"
+	"mwskit/internal/userdb"
+	"mwskit/internal/wal"
+	"mwskit/internal/wire"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Dir is the root data directory; sub-stores live beneath it.
+	Dir string
+	// MWSPKGKey is the long-term secret shared with the PKG (32 bytes),
+	// used to seal tickets. The paper assumes this key exists (§V.D
+	// assumption ii's analogue for the MWS–PKG pair).
+	MWSPKGKey []byte
+	// FreshnessWindow bounds accepted timestamp skew for deposits and
+	// logins (default 2 minutes).
+	FreshnessWindow time.Duration
+	// Sync selects store durability (default SyncAlways).
+	Sync wal.SyncPolicy
+	// Rand is the entropy source (default crypto/rand via attr.RandReader).
+	Rand io.Reader
+	// Now is the clock, swappable in tests (default time.Now).
+	Now func() time.Time
+	// Logger receives operational logs (nil discards).
+	Logger *slog.Logger
+	// IBEParams, when set, enables the AuthModeIBS deposit path (§VIII
+	// future work): devices authenticate with identity-based signatures
+	// verified against these public parameters instead of shared MAC
+	// keys. Without it, IBS deposits are rejected.
+	IBEParams *bfibe.Params
+	// Rules is an optional XACML-style rule layer (§VIII) evaluated on
+	// top of the Table 1 grants at retrieval time; nil permits all.
+	Rules *policyrule.Set
+}
+
+// Service is the running MWS. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	devices  *macauth.KeyService
+	replay   *macauth.ReplayGuard
+	rcReplay *macauth.ReplayGuard
+	messages *store.MessageStore
+	policies *policy.DB
+	users    *userdb.DB
+
+	rulesMu sync.RWMutex
+	rules   *policyrule.Set
+}
+
+// New opens (or creates) an MWS instance rooted at cfg.Dir.
+func New(cfg Config) (*Service, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("mws: Dir is required")
+	}
+	if len(cfg.MWSPKGKey) != 32 {
+		return nil, errors.New("mws: MWSPKGKey must be 32 bytes")
+	}
+	if cfg.FreshnessWindow <= 0 {
+		cfg.FreshnessWindow = 2 * time.Minute
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = attr.RandReader
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+
+	devices, err := macauth.OpenKeyService(filepath.Join(cfg.Dir, "devices"), cfg.Sync)
+	if err != nil {
+		return nil, fmt.Errorf("mws: device keys: %w", err)
+	}
+	messages, err := store.OpenMessageStore(filepath.Join(cfg.Dir, "messages"), cfg.Sync)
+	if err != nil {
+		devices.Close()
+		return nil, fmt.Errorf("mws: message db: %w", err)
+	}
+	policies, err := policy.Open(filepath.Join(cfg.Dir, "policy"), cfg.Sync)
+	if err != nil {
+		devices.Close()
+		messages.Close()
+		return nil, fmt.Errorf("mws: policy db: %w", err)
+	}
+	users, err := userdb.Open(filepath.Join(cfg.Dir, "users"), cfg.Sync)
+	if err != nil {
+		devices.Close()
+		messages.Close()
+		policies.Close()
+		return nil, fmt.Errorf("mws: user db: %w", err)
+	}
+	rules := cfg.Rules
+	if rules == nil {
+		rules = policyrule.PermitAll()
+	}
+	return &Service{
+		cfg:      cfg,
+		devices:  devices,
+		replay:   macauth.NewReplayGuard(cfg.FreshnessWindow),
+		rcReplay: macauth.NewReplayGuard(cfg.FreshnessWindow),
+		messages: messages,
+		policies: policies,
+		users:    users,
+		rules:    rules,
+	}, nil
+}
+
+// anyTagMatches tests a message's PEKS tags against a trapdoor;
+// undecodable tags are skipped rather than failing the whole retrieval.
+func (s *Service) anyTagMatches(tags [][]byte, td *peks.Trapdoor) bool {
+	for _, raw := range tags {
+		tag, err := peks.UnmarshalTag(s.cfg.IBEParams, raw)
+		if err != nil {
+			continue
+		}
+		if peks.Test(s.cfg.IBEParams, tag, td) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close releases all stores.
+func (s *Service) Close() error {
+	return errors.Join(
+		s.devices.Close(),
+		s.messages.Close(),
+		s.policies.Close(),
+		s.users.Close(),
+	)
+}
+
+// --- administration (the paper's "administrative operations to manage
+// client identities", §I) ---
+
+// RegisterDevice enrolls a smart device and returns its MAC key for
+// out-of-band delivery.
+func (s *Service) RegisterDevice(deviceID string) ([]byte, error) {
+	return s.devices.Register(deviceID, s.cfg.Rand)
+}
+
+// RevokeDevice removes a device's MAC key; its future deposits fail.
+func (s *Service) RevokeDevice(deviceID string) error {
+	return s.devices.Revoke(deviceID)
+}
+
+// RegisterClient enrolls a retrieving client with its password and
+// token-wrapping public key.
+func (s *Service) RegisterClient(id string, password []byte, pub *rsa.PublicKey) error {
+	return s.users.Register(id, password, pub)
+}
+
+// Grant gives a client access to an attribute, returning the grant's AID.
+func (s *Service) Grant(clientID string, a attr.Attribute) (attr.ID, error) {
+	if !s.users.Exists(clientID) {
+		return 0, fmt.Errorf("mws: unknown client %q", clientID)
+	}
+	return s.policies.Grant(clientID, a)
+}
+
+// Revoke removes a client's access to an attribute (§III iii).
+func (s *Service) Revoke(clientID string, a attr.Attribute) error {
+	return s.policies.Revoke(clientID, a)
+}
+
+// RevokeAllAccess removes every grant a client holds.
+func (s *Service) RevokeAllAccess(clientID string) error {
+	return s.policies.RevokeAll(clientID)
+}
+
+// SetRules replaces the XACML-style rule layer at runtime (an
+// administrative operation; takes effect on the next retrieval).
+func (s *Service) SetRules(set *policyrule.Set) error {
+	if set == nil {
+		set = policyrule.PermitAll()
+	}
+	if err := set.Validate(); err != nil {
+		return err
+	}
+	s.rulesMu.Lock()
+	s.rules = set
+	s.rulesMu.Unlock()
+	return nil
+}
+
+// Rules returns the active rule layer.
+func (s *Service) Rules() *policyrule.Set {
+	s.rulesMu.RLock()
+	defer s.rulesMu.RUnlock()
+	return s.rules
+}
+
+// PolicyTable returns the current Table 1 rows.
+func (s *Service) PolicyTable() []policy.Binding { return s.policies.Table() }
+
+// MessageCount reports the number of warehoused messages.
+func (s *Service) MessageCount() int { return s.messages.Count() }
+
+// --- SDA: the SD–MWS phase ---
+
+// Deposit validates and stores a smart-device message: MAC check against
+// the device's shared key, freshness + replay check on (MAC, T), then
+// durable append to the message database. This is the paper's SD
+// Authenticator behaviour: unauthenticated messages are discarded (§V.B).
+func (s *Service) Deposit(req *wire.DepositRequest) (uint64, error) {
+	if req == nil {
+		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty deposit"}
+	}
+	a := attr.Attribute(req.Attribute)
+	if err := a.Validate(); err != nil {
+		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: err.Error()}
+	}
+	nonce, err := attr.NonceFromBytes(req.Nonce)
+	if err != nil {
+		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: err.Error()}
+	}
+	switch req.AuthMode {
+	case wire.AuthModeMAC:
+		key, ok := s.devices.Key(req.DeviceID)
+		if !ok {
+			// Same error as a bad MAC: do not reveal which devices exist.
+			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+		}
+		if !macauth.Verify(key, req.MAC, req.MACParts()...) {
+			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+		}
+	case wire.AuthModeIBS:
+		if s.cfg.IBEParams == nil {
+			return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "IBS deposits not enabled"}
+		}
+		sig, err := ibs.Unmarshal(s.cfg.IBEParams, req.MAC)
+		if err != nil {
+			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+		}
+		if !ibs.Verify(s.cfg.IBEParams, ibs.DeviceIdentity(req.DeviceID), req.AuthBytes(), sig) {
+			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+		}
+	default:
+		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "unknown auth mode"}
+	}
+	now := s.cfg.Now()
+	if err := s.replay.Check(req.MAC, time.Unix(req.Timestamp, 0), now); err != nil {
+		return 0, &wire.ErrorMsg{Code: wire.CodeReplay, Message: err.Error()}
+	}
+	if len(req.Tags) > wire.MaxTags {
+		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "too many keyword tags"}
+	}
+	seq, err := s.messages.Put(&store.Message{
+		DeviceID:   req.DeviceID,
+		Attribute:  a,
+		Nonce:      nonce,
+		U:          req.U,
+		Ciphertext: req.Ciphertext,
+		Scheme:     req.Scheme,
+		Timestamp:  req.Timestamp,
+		Tags:       req.Tags,
+	})
+	if err != nil {
+		s.cfg.Logger.Error("mws: deposit store", "err", err)
+		return 0, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "store failure"}
+	}
+	s.cfg.Logger.Debug("mws: deposit", "device", req.DeviceID, "attr", string(a), "seq", seq)
+	return seq, nil
+}
+
+// --- Gatekeeper + MMS + TG: the MWS–RC phase ---
+
+// Retrieve authenticates an RC and returns its pending messages plus a
+// fresh PKG token. Message attributes are translated to the RC's own
+// AIDs; the attribute strings never leave the MWS (§V.D).
+func (s *Service) Retrieve(req *wire.RetrieveRequest) (*wire.RetrieveResponse, error) {
+	if req == nil {
+		return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty retrieve"}
+	}
+	now := s.cfg.Now()
+
+	// Gatekeeper: authenticate against the credential key.
+	cred, ok := s.users.Credential(req.RC)
+	if !ok {
+		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+	}
+	auth, err := ticket.OpenAuthenticator(cred, req.AuthBlob, now, s.cfg.FreshnessWindow)
+	if err != nil {
+		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+	}
+	if auth.RC != req.RC {
+		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+	}
+	if err := s.rcReplay.Check(req.AuthBlob, auth.Timestamp, now); err != nil {
+		return nil, &wire.ErrorMsg{Code: wire.CodeReplay, Message: err.Error()}
+	}
+
+	// MMS: policy lookup (Table 1 grants filtered through the rule
+	// layer) and message fetch.
+	rules := s.Rules()
+	allBindings := s.policies.BindingsFor(req.RC)
+	bindings := allBindings[:0:0]
+	for _, b := range allBindings {
+		if rules.Evaluate(req.RC, string(b.Attribute), now) == policyrule.Permit {
+			bindings = append(bindings, b)
+		}
+	}
+	aidByAttr := make(map[attr.Attribute]attr.ID, len(bindings))
+	set := make(attr.Set, 0, len(bindings))
+	for _, b := range bindings {
+		aidByAttr[b.Attribute] = b.AID
+		set = append(set, b.Attribute)
+	}
+	// Keyword search (related work [1]): with a trapdoor present, keep
+	// only messages carrying a matching PEKS tag. Fetch unlimited and
+	// apply the limit after filtering so matches are not starved.
+	fetchLimit := int(req.Limit)
+	if len(req.Trapdoor) > 0 {
+		fetchLimit = 0
+	}
+	msgs := s.messages.ListByAttributes(set, req.FromSeq, fetchLimit)
+	if len(req.Trapdoor) > 0 {
+		if s.cfg.IBEParams == nil {
+			return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "keyword search not enabled"}
+		}
+		td, err := peks.UnmarshalTrapdoor(s.cfg.IBEParams, req.Trapdoor)
+		if err != nil {
+			return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "malformed trapdoor"}
+		}
+		filtered := msgs[:0:0]
+		for _, m := range msgs {
+			if s.anyTagMatches(m.Tags, td) {
+				filtered = append(filtered, m)
+				if req.Limit > 0 && len(filtered) == int(req.Limit) {
+					break
+				}
+			}
+		}
+		msgs = filtered
+	}
+	items := make([]wire.MessageItem, len(msgs))
+	for i, m := range msgs {
+		items[i] = wire.MessageItem{
+			Seq:        m.Seq,
+			AID:        uint64(aidByAttr[m.Attribute]),
+			Nonce:      m.Nonce[:],
+			U:          m.U,
+			Ciphertext: m.Ciphertext,
+			Scheme:     m.Scheme,
+			DeviceID:   m.DeviceID,
+			Timestamp:  m.Timestamp,
+		}
+	}
+
+	// TG: mint the RC–PKG session key, seal the ticket, wrap the token.
+	sessionKey, err := ticket.NewSessionKey(s.cfg.Rand)
+	if err != nil {
+		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "session key"}
+	}
+	tk := &ticket.Ticket{
+		RC:         req.RC,
+		Bindings:   bindings,
+		SessionKey: sessionKey,
+		IssuedAt:   now.Unix(),
+	}
+	ticketBlob, err := tk.Seal(s.cfg.MWSPKGKey)
+	if err != nil {
+		s.cfg.Logger.Error("mws: ticket seal", "err", err)
+		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "ticket"}
+	}
+	pub, err := s.users.PublicKey(req.RC)
+	if err != nil {
+		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "client key"}
+	}
+	tokenBlob, err := ticket.SealToken(s.cfg.Rand, pub, &ticket.Token{
+		SessionKey: sessionKey,
+		TicketBlob: ticketBlob,
+	})
+	if err != nil {
+		s.cfg.Logger.Error("mws: token seal", "err", err)
+		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "token"}
+	}
+	s.cfg.Logger.Debug("mws: retrieve", "rc", req.RC, "messages", len(items))
+	return &wire.RetrieveResponse{TokenBlob: tokenBlob, Items: items}, nil
+}

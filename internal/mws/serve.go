@@ -1,0 +1,59 @@
+package mws
+
+import (
+	"net"
+
+	"mwskit/internal/wire"
+)
+
+// HandleFrame dispatches wire requests to the service, making *Service a
+// wire.Handler. Both the SD-facing and RC-facing operations share one
+// endpoint; the paper runs them as two servers (MWS-SD, MWS-Client), and
+// cmd/mwsd can bind two listeners to the same Service to mirror that.
+func (s *Service) HandleFrame(f wire.Frame) wire.Frame {
+	switch f.Type {
+	case wire.TPing:
+		return wire.Frame{Type: wire.TPong}
+	case wire.TDeposit:
+		req, err := wire.UnmarshalDepositRequest(f.Payload)
+		if err != nil {
+			return wire.ErrorFrame(wire.CodeBadRequest, "bad deposit: %v", err)
+		}
+		seq, err := s.Deposit(req)
+		if err != nil {
+			return errorToFrame(err)
+		}
+		resp := wire.DepositResponse{Seq: seq}
+		return wire.Frame{Type: wire.TDepositResp, Payload: resp.Marshal()}
+	case wire.TRetrieve:
+		req, err := wire.UnmarshalRetrieveRequest(f.Payload)
+		if err != nil {
+			return wire.ErrorFrame(wire.CodeBadRequest, "bad retrieve: %v", err)
+		}
+		resp, err := s.Retrieve(req)
+		if err != nil {
+			return errorToFrame(err)
+		}
+		return wire.Frame{Type: wire.TRetrieveResp, Payload: resp.Marshal()}
+	default:
+		return wire.ErrorFrame(wire.CodeBadRequest, "unsupported frame type %s", f.Type)
+	}
+}
+
+func errorToFrame(err error) wire.Frame {
+	if em, ok := err.(*wire.ErrorMsg); ok {
+		return wire.Frame{Type: wire.TError, Payload: em.Marshal()}
+	}
+	return wire.ErrorFrame(wire.CodeInternal, "internal error")
+}
+
+// ListenAndServe starts a wire server for this service on addr and
+// returns it along with the bound address.
+func (s *Service) ListenAndServe(addr string) (*wire.Server, net.Addr, error) {
+	srv := wire.NewServer(s, s.cfg.Logger)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, bound, nil
+}

@@ -1,0 +1,73 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"mwskit/internal/ec"
+	"mwskit/internal/ff"
+)
+
+// TestBilinearityProperty drives the bilinearity law with quick-generated
+// scalar pairs on the tiny curve (p=1051, q=263), where pairings are
+// cheap enough for hundreds of random cases.
+func TestBilinearityProperty(t *testing.T) {
+	e, g := tinySystem(t)
+	base := e.Pair(g, g)
+	q := e.Curve.Q
+
+	if err := quick.Check(func(a, b uint16) bool {
+		as := new(big.Int).Mod(big.NewInt(int64(a)), q)
+		bs := new(big.Int).Mod(big.NewInt(int64(b)), q)
+		lhs := e.Pair(e.Curve.ScalarMult(g, as), e.Curve.ScalarMult(g, bs))
+		ab := new(big.Int).Mul(as, bs)
+		ab.Mod(ab, q)
+		return lhs.Equal(base.Exp(ab))
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPairingMultiplicativityProperty: ê(P+Q, R) = ê(P,R)·ê(Q,R) for
+// random subgroup points.
+func TestPairingMultiplicativityProperty(t *testing.T) {
+	e, g := tinySystem(t)
+	q := e.Curve.Q
+
+	if err := quick.Check(func(a, b, c uint16) bool {
+		pa := e.Curve.ScalarMult(g, new(big.Int).Mod(big.NewInt(int64(a)), q))
+		pb := e.Curve.ScalarMult(g, new(big.Int).Mod(big.NewInt(int64(b)), q))
+		pr := e.Curve.ScalarMult(g, new(big.Int).Mod(big.NewInt(int64(c)), q))
+		lhs := e.Pair(e.Curve.Add(pa, pb), pr)
+		rhs := e.Pair(pa, pr).Mul(e.Pair(pb, pr))
+		return lhs.Equal(rhs)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGTOrderProperty: every pairing output lies in μ_q.
+func TestGTOrderProperty(t *testing.T) {
+	e, g := tinySystem(t)
+	q := e.Curve.Q
+	if err := quick.Check(func(a uint16) bool {
+		p := e.Curve.ScalarMult(g, new(big.Int).Mod(big.NewInt(int64(a)), q))
+		return e.Pair(p, g).Exp(q).IsOne()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tinySystem builds the fast hand-checkable pairing used by property
+// tests (the same p=1051, q=263 curve as TestMillerAgainstTinyCurve).
+func tinySystem(t *testing.T) (*Pairing, ec.Point) {
+	t.Helper()
+	f := ff.MustField(big.NewInt(1051))
+	c := ec.MustCurve(f, big.NewInt(263))
+	g, err := c.HashToSubgroup("tiny-prop", []byte("gen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c), g
+}

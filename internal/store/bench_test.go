@@ -1,0 +1,125 @@
+package store
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/wal"
+)
+
+func benchMessage(b *testing.B, a attr.Attribute) *Message {
+	b.Helper()
+	n, err := attr.NewNonce(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Message{
+		DeviceID:   "bench-meter",
+		Attribute:  a,
+		Nonce:      n,
+		U:          make([]byte, 129),
+		Ciphertext: make([]byte, 300),
+		Scheme:     "AES-128-GCM",
+		Timestamp:  1278000000,
+	}
+}
+
+func BenchmarkMessagePut(b *testing.B) {
+	ms, err := OpenMessageStore(b.TempDir(), wal.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.Close()
+	m := benchMessage(b, "BENCH-ATTR")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ms.Put(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListByAttribute(b *testing.B) {
+	ms, err := OpenMessageStore(b.TempDir(), wal.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ms.Close()
+	// 10k messages across 10 attributes.
+	for i := 0; i < 10000; i++ {
+		m := benchMessage(b, attr.Attribute(fmt.Sprintf("ATTR-%d", i%10)))
+		if _, err := ms.Put(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ms.ListByAttribute("ATTR-3", 0, 0); len(got) != 1000 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}
+
+func BenchmarkKVPut(b *testing.B) {
+	kv, err := OpenKV(b.TempDir(), wal.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%d", i%1000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVGet(b *testing.B) {
+	kv, err := OpenKV(b.TempDir(), wal.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	for i := 0; i < 1000; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%d", i), make([]byte, 64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := kv.Get(fmt.Sprintf("key-%d", i%1000)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkMessageStoreRecovery(b *testing.B) {
+	// How long does reopening (replaying) a 10k-message store take?
+	dir := b.TempDir()
+	ms, err := OpenMessageStore(dir, wal.SyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := ms.Put(benchMessage(b, "ATTR-X")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ms.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms2, err := OpenMessageStore(dir, wal.SyncNever)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms2.Count() != 10000 {
+			b.Fatal("recovery lost messages")
+		}
+		ms2.Close()
+	}
+}

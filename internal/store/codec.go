@@ -1,0 +1,97 @@
+// Package store provides the MWS data stores: a durable key-value store
+// (backing the policy and user databases) and the attribute-indexed
+// message database, both layered on the write-ahead log in internal/wal.
+// The paper's prototype used flat files; §VIII asks for a real database
+// layer, which this package supplies.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// enc is a tiny append-only binary encoder with length-prefixed fields.
+// Kept deliberately explicit (no reflection) so record formats are stable
+// and auditable.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) bytes() []byte { return e.buf }
+
+func (e *enc) putUint8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *enc) putUint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *enc) putInt64(v int64) { e.putUint64(uint64(v)) }
+
+func (e *enc) putBytes(b []byte) {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	e.buf = append(e.buf, l[:]...)
+	e.buf = append(e.buf, b...)
+}
+
+func (e *enc) putString(s string) { e.putBytes([]byte(s)) }
+
+// dec is the matching reader. Every method returns an error on truncation
+// so corrupt records can never panic the store.
+type dec struct {
+	buf []byte
+}
+
+var errTruncated = errors.New("store: truncated record")
+
+func (d *dec) uint8() (uint8, error) {
+	if len(d.buf) < 1 {
+		return 0, errTruncated
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
+
+func (d *dec) uint64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *dec) int64() (int64, error) {
+	v, err := d.uint64()
+	return int64(v), err
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	if len(d.buf) < 4 {
+		return nil, errTruncated
+	}
+	n := binary.BigEndian.Uint32(d.buf)
+	if uint32(len(d.buf)-4) < n {
+		return nil, errTruncated
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[4:4+n])
+	d.buf = d.buf[4+n:]
+	return out, nil
+}
+
+func (d *dec) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+func (d *dec) done() error {
+	if len(d.buf) != 0 {
+		return fmt.Errorf("store: %d trailing bytes in record", len(d.buf))
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mwskit/internal/wal"
+)
+
+// KV is a durable string-keyed store: an in-memory map fronted by a
+// write-ahead log. Every mutation is logged before it is applied, and
+// Open replays the log to rebuild the map, so the store survives crashes
+// with at most the in-flight operation lost. It backs the MWS policy and
+// user databases.
+type KV struct {
+	mu  sync.RWMutex
+	m   map[string][]byte
+	log *wal.Log
+	dir string
+	// mutations counts logged operations since the last compaction, used
+	// by callers to decide when to Compact.
+	mutations uint64
+}
+
+// KV log record ops.
+const (
+	kvOpPut    = 1
+	kvOpDelete = 2
+)
+
+// OpenKV opens (or creates) a KV store rooted at dir.
+func OpenKV(dir string, sync wal.SyncPolicy) (*KV, error) {
+	log, err := wal.Open(wal.Options{Dir: dir, Sync: sync})
+	if err != nil {
+		return nil, err
+	}
+	kv := &KV{m: make(map[string][]byte), log: log, dir: dir}
+	err = log.Iterate(func(_ uint64, payload []byte) error {
+		return kv.applyRecord(payload)
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("store: kv replay: %w", err)
+	}
+	return kv, nil
+}
+
+func (kv *KV) applyRecord(payload []byte) error {
+	d := dec{buf: payload}
+	op, err := d.uint8()
+	if err != nil {
+		return err
+	}
+	key, err := d.str()
+	if err != nil {
+		return err
+	}
+	switch op {
+	case kvOpPut:
+		val, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		kv.m[key] = val
+	case kvOpDelete:
+		delete(kv.m, key)
+	default:
+		return fmt.Errorf("store: unknown kv op %d", op)
+	}
+	kv.mutations++
+	return d.done()
+}
+
+// Get returns a copy of the value for key.
+func (kv *KV) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put durably stores key = value.
+func (kv *KV) Put(key string, value []byte) error {
+	var e enc
+	e.putUint8(kvOpPut)
+	e.putString(key)
+	e.putBytes(value)
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, err := kv.log.Append(e.bytes()); err != nil {
+		return err
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	kv.m[key] = val
+	kv.mutations++
+	return nil
+}
+
+// Delete durably removes key. Deleting an absent key is a no-op.
+func (kv *KV) Delete(key string) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.m[key]; !ok {
+		return nil
+	}
+	var e enc
+	e.putUint8(kvOpDelete)
+	e.putString(key)
+	if _, err := kv.log.Append(e.bytes()); err != nil {
+		return err
+	}
+	delete(kv.m, key)
+	kv.mutations++
+	return nil
+}
+
+// Len returns the number of live keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.m)
+}
+
+// Keys returns the live keys in sorted order.
+func (kv *KV) Keys() []string {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]string, 0, len(kv.m))
+	for k := range kv.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for each key/value pair (in unspecified order) until fn
+// returns false. The value slice must not be retained.
+func (kv *KV) Range(fn func(key string, value []byte) bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	for k, v := range kv.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Mutations reports the number of operations in the log, a compaction
+// heuristic for callers (live keys ≪ mutations ⇒ compact).
+func (kv *KV) Mutations() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.mutations
+}
+
+// Compact rewrites the log so it contains exactly one Put per live key,
+// bounding recovery time after long churn. The store remains usable
+// afterwards; on any error the original data is untouched.
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+
+	tmpDir := kv.dir + ".compact"
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return fmt.Errorf("store: compact cleanup: %w", err)
+	}
+	tmpLog, err := wal.Open(wal.Options{Dir: tmpDir, Sync: wal.SyncNever})
+	if err != nil {
+		return err
+	}
+	for k, v := range kv.m {
+		var e enc
+		e.putUint8(kvOpPut)
+		e.putString(k)
+		e.putBytes(v)
+		if _, err := tmpLog.Append(e.bytes()); err != nil {
+			tmpLog.Close()
+			os.RemoveAll(tmpDir)
+			return err
+		}
+	}
+	if err := tmpLog.Close(); err != nil {
+		os.RemoveAll(tmpDir)
+		return err
+	}
+	// Swap directories: close old, move new into place, reopen.
+	if err := kv.log.Close(); err != nil {
+		return err
+	}
+	oldDir := kv.dir + ".old"
+	if err := os.RemoveAll(oldDir); err != nil {
+		return err
+	}
+	if err := os.Rename(kv.dir, oldDir); err != nil {
+		return fmt.Errorf("store: compact swap: %w", err)
+	}
+	if err := os.Rename(tmpDir, kv.dir); err != nil {
+		// Try to restore the original directory before giving up.
+		if restoreErr := os.Rename(oldDir, kv.dir); restoreErr != nil {
+			return errors.Join(err, restoreErr)
+		}
+		reopened, reopenErr := wal.Open(wal.Options{Dir: kv.dir, Sync: wal.SyncAlways})
+		if reopenErr != nil {
+			return errors.Join(err, reopenErr)
+		}
+		kv.log = reopened
+		return err
+	}
+	if err := os.RemoveAll(oldDir); err != nil {
+		return err
+	}
+	newLog, err := wal.Open(wal.Options{Dir: kv.dir, Sync: wal.SyncAlways})
+	if err != nil {
+		return err
+	}
+	kv.log = newLog
+	kv.mutations = uint64(len(kv.m))
+	return nil
+}
+
+// Close releases the underlying log.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.log.Close()
+}
+
+// SubdirKV is a helper that opens a KV under parent/name.
+func SubdirKV(parent, name string, sync wal.SyncPolicy) (*KV, error) {
+	return OpenKV(filepath.Join(parent, name), sync)
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mwskit/internal/wal"
+)
+
+func openTestKV(t *testing.T) *KV {
+	t.Helper()
+	kv, err := OpenKV(t.TempDir(), wal.SyncNever)
+	if err != nil {
+		t.Fatalf("OpenKV: %v", err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	return kv
+}
+
+func TestKVPutGetDelete(t *testing.T) {
+	kv := openTestKV(t)
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatal("Get on empty store returned a value")
+	}
+	if err := kv.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := kv.Get("k1")
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if err := kv.Put("k1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = kv.Get("k1")
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Fatal("overwrite did not take")
+	}
+	if err := kv.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kv.Get("k1"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := kv.Delete("k1"); err != nil {
+		t.Fatal("double delete errored")
+	}
+}
+
+func TestKVDurability(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := OpenKV(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := kv.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete some, overwrite others, then "crash" (close) and reopen.
+	for i := 0; i < 50; i += 3 {
+		if err := kv.Delete(fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Put("key-1", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := OpenKV(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		v, ok := kv2.Get(key)
+		switch {
+		case i%3 == 0:
+			if ok {
+				t.Fatalf("%s should be deleted", key)
+			}
+		case i == 1:
+			if !bytes.Equal(v, []byte("rewritten")) {
+				t.Fatalf("%s = %q", key, v)
+			}
+		default:
+			if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+				t.Fatalf("%s = %q, ok=%v", key, v, ok)
+			}
+		}
+	}
+}
+
+func TestKVGetReturnsCopy(t *testing.T) {
+	kv := openTestKV(t)
+	if err := kv.Put("k", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := kv.Get("k")
+	v[0] = 99
+	v2, _ := kv.Get("k")
+	if v2[0] != 1 {
+		t.Fatal("Get exposed internal state")
+	}
+}
+
+func TestKVPutCopiesInput(t *testing.T) {
+	kv := openTestKV(t)
+	val := []byte{1, 2, 3}
+	if err := kv.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 99
+	v, _ := kv.Get("k")
+	if v[0] != 1 {
+		t.Fatal("Put aliased caller memory")
+	}
+}
+
+func TestKVKeysSorted(t *testing.T) {
+	kv := openTestKV(t)
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		if err := kv.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := kv.Keys()
+	want := []string{"apple", "mango", "zebra"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys() = %v", keys)
+		}
+	}
+	if kv.Len() != 3 {
+		t.Fatalf("Len = %d", kv.Len())
+	}
+}
+
+func TestKVRange(t *testing.T) {
+	kv := openTestKV(t)
+	for i := 0; i < 10; i++ {
+		if err := kv.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	kv.Range(func(k string, v []byte) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("Range visited %d keys", n)
+	}
+	n = 0
+	kv.Range(func(k string, v []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early-stop Range visited %d keys", n)
+	}
+}
+
+func TestKVCompact(t *testing.T) {
+	dir := t.TempDir() + "/kv"
+	kv, err := OpenKV(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy churn on a small keyspace.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 10; i++ {
+			if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := kv.Delete("k9"); err != nil {
+		t.Fatal(err)
+	}
+	before := kv.Mutations()
+	if before < 200 {
+		t.Fatalf("expected ≥200 mutations, got %d", before)
+	}
+	if err := kv.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if kv.Mutations() != 9 {
+		t.Fatalf("post-compact mutations = %d, want 9", kv.Mutations())
+	}
+	// Data intact after compaction.
+	for i := 0; i < 9; i++ {
+		v, ok := kv.Get(fmt.Sprintf("k%d", i))
+		if !ok || !bytes.Equal(v, []byte("r19")) {
+			t.Fatalf("post-compact k%d = %q, ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := kv.Get("k9"); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+	// Store still writable and durable after compaction.
+	if err := kv.Put("new", []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kv2, err := OpenKV(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if v, ok := kv2.Get("new"); !ok || !bytes.Equal(v, []byte("post-compact")) {
+		t.Fatal("post-compaction write lost across reopen")
+	}
+	if kv2.Len() != 10 {
+		t.Fatalf("post-compact reopen Len = %d, want 10", kv2.Len())
+	}
+}
+
+func TestKVPropertyModelCheck(t *testing.T) {
+	// Property: a KV store behaves exactly like a map under any sequence
+	// of puts and deletes.
+	kv := openTestKV(t)
+	model := make(map[string]string)
+	err := quick.Check(func(key uint8, value string, del bool) bool {
+		k := fmt.Sprintf("key-%d", key%16)
+		if del {
+			if err := kv.Delete(k); err != nil {
+				return false
+			}
+			delete(model, k)
+		} else {
+			if err := kv.Put(k, []byte(value)); err != nil {
+				return false
+			}
+			model[k] = value
+		}
+		// Compare full state.
+		if kv.Len() != len(model) {
+			return false
+		}
+		for mk, mv := range model {
+			v, ok := kv.Get(mk)
+			if !ok || string(v) != mv {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

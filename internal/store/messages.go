@@ -1,0 +1,240 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/wal"
+)
+
+// Message is one deposited record: exactly the tuple the paper stores
+// after SD authentication — rP ‖ C ‖ (A ‖ Nonce) (§V.D "SD – MWS Phase")
+// — plus bookkeeping (depositing device, scheme, timestamp).
+type Message struct {
+	// Seq is the store-assigned sequence number, unique and increasing.
+	Seq uint64
+	// DeviceID identifies the depositing smart device.
+	DeviceID string
+	// Attribute is the recipient-characterizing attribute the message was
+	// encrypted toward. Stored server-side only; never sent to RCs in the
+	// clear (they see the AID instead).
+	Attribute attr.Attribute
+	// Nonce is the per-message freshness value (revocation device).
+	Nonce attr.Nonce
+	// U is the encoded key-transport point rP.
+	U []byte
+	// Ciphertext is the symmetric ciphertext C.
+	Ciphertext []byte
+	// Scheme names the symmetric scheme that produced Ciphertext.
+	Scheme string
+	// Timestamp is the deposit time in Unix seconds.
+	Timestamp int64
+	// Tags are opaque PEKS keyword tags deposited with the message
+	// (searchable-encryption extension); may be empty.
+	Tags [][]byte
+}
+
+func (m *Message) encode() []byte {
+	var e enc
+	e.putString(m.DeviceID)
+	e.putString(string(m.Attribute))
+	e.putBytes(m.Nonce[:])
+	e.putBytes(m.U)
+	e.putBytes(m.Ciphertext)
+	e.putString(m.Scheme)
+	e.putInt64(m.Timestamp)
+	e.putUint64(uint64(len(m.Tags)))
+	for _, tg := range m.Tags {
+		e.putBytes(tg)
+	}
+	return e.bytes()
+}
+
+func decodeMessage(seq uint64, payload []byte) (*Message, error) {
+	d := dec{buf: payload}
+	m := &Message{Seq: seq}
+	var err error
+	if m.DeviceID, err = d.str(); err != nil {
+		return nil, err
+	}
+	var a string
+	if a, err = d.str(); err != nil {
+		return nil, err
+	}
+	m.Attribute = attr.Attribute(a)
+	nb, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if m.Nonce, err = attr.NonceFromBytes(nb); err != nil {
+		return nil, err
+	}
+	if m.U, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if m.Ciphertext, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	if m.Scheme, err = d.str(); err != nil {
+		return nil, err
+	}
+	if m.Timestamp, err = d.int64(); err != nil {
+		return nil, err
+	}
+	nTags, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if nTags > 1<<16 {
+		return nil, errors.New("store: implausible tag count")
+	}
+	if nTags > 0 {
+		m.Tags = make([][]byte, nTags)
+		for i := range m.Tags {
+			if m.Tags[i], err = d.bytes(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, d.done()
+}
+
+// MessageStore is the paper's Message Database (MD): an append-only,
+// WAL-durable store of deposited messages with an attribute index for
+// the MMS retrieval path. Messages are immutable once deposited.
+type MessageStore struct {
+	mu     sync.RWMutex
+	log    *wal.Log
+	msgs   []*Message                  // dense, msgs[i].Seq == i
+	byAttr map[attr.Attribute][]uint64 // attribute → sequence numbers
+}
+
+// OpenMessageStore opens (or creates) the message database at dir,
+// replaying the log to rebuild the attribute index.
+func OpenMessageStore(dir string, sync wal.SyncPolicy) (*MessageStore, error) {
+	log, err := wal.Open(wal.Options{Dir: dir, Sync: sync})
+	if err != nil {
+		return nil, err
+	}
+	ms := &MessageStore{log: log, byAttr: make(map[attr.Attribute][]uint64)}
+	err = log.Iterate(func(seq uint64, payload []byte) error {
+		m, err := decodeMessage(seq, payload)
+		if err != nil {
+			return err
+		}
+		ms.index(m)
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("store: message replay: %w", err)
+	}
+	return ms, nil
+}
+
+func (ms *MessageStore) index(m *Message) {
+	ms.msgs = append(ms.msgs, m)
+	ms.byAttr[m.Attribute] = append(ms.byAttr[m.Attribute], m.Seq)
+}
+
+// Put durably appends a message and returns its assigned sequence number.
+// The caller's Message.Seq is ignored.
+func (ms *MessageStore) Put(m *Message) (uint64, error) {
+	if m == nil {
+		return 0, errors.New("store: nil message")
+	}
+	if err := m.Attribute.Validate(); err != nil {
+		return 0, err
+	}
+	cp := *m
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	seq, err := ms.log.Append(cp.encode())
+	if err != nil {
+		return 0, err
+	}
+	cp.Seq = seq
+	ms.index(&cp)
+	return seq, nil
+}
+
+// Get returns the message with the given sequence number.
+func (ms *MessageStore) Get(seq uint64) (*Message, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	if seq >= uint64(len(ms.msgs)) {
+		return nil, false
+	}
+	return ms.msgs[seq], true
+}
+
+// ListByAttribute returns messages carrying the attribute with
+// Seq ≥ fromSeq (an inclusive cursor; 0 means "from the beginning"),
+// oldest first, up to limit (0 = unlimited). This is the MMS query:
+// "fetch all records whose attribute field matches".
+func (ms *MessageStore) ListByAttribute(a attr.Attribute, fromSeq uint64, limit int) []*Message {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	seqs := ms.byAttr[a]
+	out := make([]*Message, 0, len(seqs))
+	for _, s := range seqs {
+		if s < fromSeq {
+			continue
+		}
+		out = append(out, ms.msgs[s])
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// ListByAttributes merges ListByAttribute across a set, ordered by
+// sequence number (deposit order). fromSeq is the same inclusive cursor.
+func (ms *MessageStore) ListByAttributes(set attr.Set, fromSeq uint64, limit int) []*Message {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	var out []*Message
+	for _, m := range ms.msgs {
+		if m.Seq < fromSeq {
+			continue
+		}
+		if set.Contains(m.Attribute) {
+			out = append(out, m)
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the total number of stored messages.
+func (ms *MessageStore) Count() int {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return len(ms.msgs)
+}
+
+// CountByAttribute returns the number of messages for one attribute.
+func (ms *MessageStore) CountByAttribute(a attr.Attribute) int {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return len(ms.byAttr[a])
+}
+
+// Attributes returns the distinct attributes present in the store.
+func (ms *MessageStore) Attributes() []attr.Attribute {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	out := make([]attr.Attribute, 0, len(ms.byAttr))
+	for a := range ms.byAttr {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Close releases the underlying log.
+func (ms *MessageStore) Close() error { return ms.log.Close() }

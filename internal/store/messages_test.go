@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/wal"
+)
+
+func testMessage(t *testing.T, device string, a attr.Attribute) *Message {
+	t.Helper()
+	n, err := attr.NewNonce(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Message{
+		DeviceID:   device,
+		Attribute:  a,
+		Nonce:      n,
+		U:          []byte("encoded-rP-point"),
+		Ciphertext: []byte("ciphertext-bytes"),
+		Scheme:     "AES-128-GCM",
+		Timestamp:  1278000000,
+	}
+}
+
+func openTestMS(t *testing.T) *MessageStore {
+	t.Helper()
+	ms, err := OpenMessageStore(t.TempDir(), wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	return ms
+}
+
+func TestMessagePutGet(t *testing.T) {
+	ms := openTestMS(t)
+	m := testMessage(t, "meter-1", "ELECTRIC-APT-SV-CA")
+	seq, err := ms.Put(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ms.Get(seq)
+	if !ok {
+		t.Fatal("Get missed a stored message")
+	}
+	if got.DeviceID != m.DeviceID || got.Attribute != m.Attribute ||
+		!bytes.Equal(got.U, m.U) || !bytes.Equal(got.Ciphertext, m.Ciphertext) ||
+		got.Scheme != m.Scheme || got.Timestamp != m.Timestamp || got.Nonce != m.Nonce {
+		t.Fatalf("stored message mutated: %+v vs %+v", got, m)
+	}
+	if _, ok := ms.Get(seq + 1); ok {
+		t.Fatal("Get returned a message that was never stored")
+	}
+}
+
+func TestMessageRejectsInvalid(t *testing.T) {
+	ms := openTestMS(t)
+	if _, err := ms.Put(nil); err == nil {
+		t.Fatal("nil message accepted")
+	}
+	m := testMessage(t, "meter-1", "bad attribute!")
+	if _, err := ms.Put(m); err == nil {
+		t.Fatal("invalid attribute accepted")
+	}
+}
+
+func TestAttributeIndex(t *testing.T) {
+	ms := openTestMS(t)
+	attrs := []attr.Attribute{"ELECTRIC-A", "WATER-A", "GAS-A"}
+	for i := 0; i < 30; i++ {
+		m := testMessage(t, fmt.Sprintf("meter-%d", i), attrs[i%3])
+		if _, err := ms.Put(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ms.Count() != 30 {
+		t.Fatalf("Count = %d", ms.Count())
+	}
+	for _, a := range attrs {
+		if n := ms.CountByAttribute(a); n != 10 {
+			t.Fatalf("CountByAttribute(%s) = %d, want 10", a, n)
+		}
+		msgs := ms.ListByAttribute(a, 0, 0)
+		if len(msgs) != 10 {
+			t.Fatalf("ListByAttribute(%s) = %d messages", a, len(msgs))
+		}
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i].Seq <= msgs[i-1].Seq {
+				t.Fatal("ListByAttribute not in deposit order")
+			}
+		}
+		for _, m := range msgs {
+			if m.Attribute != a {
+				t.Fatalf("index returned wrong-attribute message %v", m.Attribute)
+			}
+		}
+	}
+	if got := len(ms.Attributes()); got != 3 {
+		t.Fatalf("Attributes() has %d entries", got)
+	}
+}
+
+func TestListFromSeq(t *testing.T) {
+	ms := openTestMS(t)
+	var seqs []uint64
+	for i := 0; i < 10; i++ {
+		seq, err := ms.Put(testMessage(t, "m", "A1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	after := ms.ListByAttribute("A1", seqs[5], 0)
+	if len(after) != 5 {
+		t.Fatalf("from seq %d: %d messages, want 5", seqs[5], len(after))
+	}
+	for _, m := range after {
+		if m.Seq < seqs[5] {
+			t.Fatal("fromSeq filter leaked an old message")
+		}
+	}
+}
+
+func TestListLimit(t *testing.T) {
+	ms := openTestMS(t)
+	for i := 0; i < 10; i++ {
+		if _, err := ms.Put(testMessage(t, "m", "A1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ms.ListByAttribute("A1", 0, 3); len(got) != 3 {
+		t.Fatalf("limit 3 returned %d", len(got))
+	}
+}
+
+func TestListByAttributes(t *testing.T) {
+	ms := openTestMS(t)
+	for i := 0; i < 12; i++ {
+		a := attr.Attribute([]string{"ELECTRIC", "WATER", "GAS"}[i%3])
+		if _, err := ms.Put(testMessage(t, "m", a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// C-Services-style: all three attributes, interleaved by deposit order.
+	all := ms.ListByAttributes(attr.Set{"ELECTRIC", "WATER", "GAS"}, 0, 0)
+	if len(all) != 12 {
+		t.Fatalf("union query returned %d, want 12", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatal("union query not in deposit order")
+		}
+	}
+	// Water-only RC sees only water.
+	water := ms.ListByAttributes(attr.Set{"WATER"}, 0, 0)
+	if len(water) != 4 {
+		t.Fatalf("water query returned %d, want 4", len(water))
+	}
+	// Limit applies to the union.
+	if got := ms.ListByAttributes(attr.Set{"ELECTRIC", "WATER"}, 0, 5); len(got) != 5 {
+		t.Fatalf("limited union returned %d", len(got))
+	}
+}
+
+func TestMessageDurability(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := OpenMessageStore(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantNonces []attr.Nonce
+	for i := 0; i < 25; i++ {
+		m := testMessage(t, fmt.Sprintf("meter-%d", i), attr.Attribute(fmt.Sprintf("ATTR-%d", i%5)))
+		wantNonces = append(wantNonces, m.Nonce)
+		if _, err := ms.Put(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2, err := OpenMessageStore(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms2.Close()
+	if ms2.Count() != 25 {
+		t.Fatalf("reopened Count = %d", ms2.Count())
+	}
+	for i := 0; i < 25; i++ {
+		m, ok := ms2.Get(uint64(i))
+		if !ok {
+			t.Fatalf("message %d lost", i)
+		}
+		if m.Nonce != wantNonces[i] {
+			t.Fatalf("message %d nonce corrupted", i)
+		}
+	}
+	// Index rebuilt correctly.
+	for i := 0; i < 5; i++ {
+		a := attr.Attribute(fmt.Sprintf("ATTR-%d", i))
+		if n := ms2.CountByAttribute(a); n != 5 {
+			t.Fatalf("reopened CountByAttribute(%s) = %d", a, n)
+		}
+	}
+	// Sequence numbering resumes.
+	seq, err := ms2.Put(testMessage(t, "late", "ATTR-0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 25 {
+		t.Fatalf("resumed seq = %d, want 25", seq)
+	}
+}
+
+func TestPutDoesNotAliasCaller(t *testing.T) {
+	ms := openTestMS(t)
+	m := testMessage(t, "meter", "A1")
+	seq, err := ms.Put(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.DeviceID = "mutated"
+	got, _ := ms.Get(seq)
+	if got.DeviceID != "meter" {
+		t.Fatal("Put aliased the caller's struct")
+	}
+}

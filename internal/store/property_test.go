@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/wal"
+)
+
+// TestMessageStoreModelProperty checks the store against a trivial
+// in-memory model under quick-generated deposit sequences: counts,
+// per-attribute listings, ordering, and content must all agree.
+func TestMessageStoreModelProperty(t *testing.T) {
+	ms := openTestMS(t)
+	type modelMsg struct {
+		seq     uint64
+		attrKey attr.Attribute
+		body    []byte
+	}
+	var model []modelMsg
+
+	if err := quick.Check(func(attrIdx uint8, body []byte) bool {
+		a := attr.Attribute(fmt.Sprintf("ATTR-%d", attrIdx%5))
+		m := testMessageWithBody(t, a, body)
+		seq, err := ms.Put(m)
+		if err != nil {
+			return false
+		}
+		model = append(model, modelMsg{seq: seq, attrKey: a, body: body})
+
+		// Global count agrees.
+		if ms.Count() != len(model) {
+			return false
+		}
+		// Per-attribute listing agrees in order and content.
+		var want []modelMsg
+		for _, mm := range model {
+			if mm.attrKey == a {
+				want = append(want, mm)
+			}
+		}
+		got := ms.ListByAttribute(a, 0, 0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Seq != want[i].seq || !bytes.Equal(got[i].Ciphertext, want[i].body) {
+				return false
+			}
+		}
+		// Random-access read agrees.
+		back, ok := ms.Get(seq)
+		return ok && bytes.Equal(back.Ciphertext, body)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testMessageWithBody builds a message whose ciphertext carries the
+// model body (content identity is what the property checks).
+func testMessageWithBody(t *testing.T, a attr.Attribute, body []byte) *Message {
+	t.Helper()
+	m := testMessage(t, "model-meter", a)
+	m.Ciphertext = body
+	return m
+}
+
+// TestCursorPaginationProperty: for any fromSeq, pagination with limit 1
+// visits exactly the messages with Seq ≥ fromSeq, in order, each once.
+func TestCursorPaginationProperty(t *testing.T) {
+	ms, err := OpenMessageStore(t.TempDir(), wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	const total = 40
+	for i := 0; i < total; i++ {
+		if _, err := ms.Put(testMessage(t, "m", "A1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := quick.Check(func(start uint8) bool {
+		from := uint64(start) % (total + 5)
+		var visited []uint64
+		cursor := from
+		for {
+			page := ms.ListByAttribute("A1", cursor, 1)
+			if len(page) == 0 {
+				break
+			}
+			visited = append(visited, page[0].Seq)
+			cursor = page[0].Seq + 1
+		}
+		wantLen := 0
+		if from < total {
+			wantLen = int(total - from)
+		}
+		if len(visited) != wantLen {
+			return false
+		}
+		for i, seq := range visited {
+			if seq != from+uint64(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"mwskit/internal/wal"
+)
+
+func TestMessageTagsDurability(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := OpenMessageStore(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMessage(t, "meter", "A1")
+	m.Tags = [][]byte{[]byte("peks-tag-1"), []byte("peks-tag-2")}
+	seq, err := ms.Put(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tagless message in the same store.
+	if _, err := ms.Put(testMessage(t, "meter", "A1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2, err := OpenMessageStore(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms2.Close()
+	got, ok := ms2.Get(seq)
+	if !ok {
+		t.Fatal("tagged message lost")
+	}
+	if len(got.Tags) != 2 || !bytes.Equal(got.Tags[0], []byte("peks-tag-1")) || !bytes.Equal(got.Tags[1], []byte("peks-tag-2")) {
+		t.Fatalf("tags not recovered: %v", got.Tags)
+	}
+	plain, ok := ms2.Get(seq + 1)
+	if !ok || plain.Tags != nil {
+		t.Fatalf("tagless message corrupted: %+v", plain)
+	}
+}

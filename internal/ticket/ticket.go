@@ -1,0 +1,266 @@
+// Package ticket implements the Kerberos-style credential objects of the
+// paper's protocol (§V.C/D):
+//
+//	Ticket        = E(SecK_MWS-PKG, bindings ‖ SecK_RC-PKG ‖ metadata)
+//	Token         = E(PubK_RC, SecK_RC-PKG ‖ Ticket)
+//	Authenticator = E(SecK_RC-PKG, ID_RC ‖ T)
+//
+// The MWS Token Generator seals a Ticket under the long-term key it
+// shares with the PKG, embeds it in a Token wrapped to the RC's public
+// key, and the RC later presents Ticket + Authenticator to the PKG. The
+// attribute strings ride *inside* the ticket while the RC only ever sees
+// AIDs — the indirection that keeps clients ignorant of their own
+// attributes (§V.D).
+//
+// Symmetric sealing uses AES-256-GCM (the paper's DES stands in for "any
+// symmetric cipher"); the token wrap is RSA-OAEP carrying a fresh content
+// key (hybrid, since tickets exceed an RSA block).
+package ticket
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/policy"
+	"mwskit/internal/symenc"
+)
+
+// SessionKeyLen is the byte length of the RC–PKG session key carried in
+// tickets and tokens.
+const SessionKeyLen = 32
+
+// sealScheme is the AEAD used for tickets and authenticators.
+func sealScheme() symenc.Scheme {
+	s, err := symenc.ByName("AES-256-GCM")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ticket is the PKG-bound credential: who it was issued to, which grants
+// (AID → attribute) it conveys, the RC–PKG session key, and issue time.
+type Ticket struct {
+	RC         string
+	Bindings   []policy.Binding // attribute bindings; Identity field matches RC
+	SessionKey []byte           // SecK_RC-PKG
+	IssuedAt   int64            // Unix seconds
+}
+
+// NewSessionKey draws a fresh RC–PKG session key.
+func NewSessionKey(rng io.Reader) ([]byte, error) {
+	k := make([]byte, SessionKeyLen)
+	if _, err := io.ReadFull(rng, k); err != nil {
+		return nil, fmt.Errorf("ticket: session key: %w", err)
+	}
+	return k, nil
+}
+
+func (t *Ticket) encode() ([]byte, error) {
+	if t.RC == "" {
+		return nil, errors.New("ticket: empty RC identity")
+	}
+	if len(t.SessionKey) != SessionKeyLen {
+		return nil, fmt.Errorf("ticket: session key must be %d bytes", SessionKeyLen)
+	}
+	var e binEnc
+	e.putString(t.RC)
+	e.putUint64(uint64(t.IssuedAt))
+	e.putUint64(uint64(len(t.Bindings)))
+	for _, b := range t.Bindings {
+		e.putUint64(uint64(b.AID))
+		e.putString(string(b.Attribute))
+	}
+	e.putBytes(t.SessionKey)
+	return e.buf, nil
+}
+
+func decodeTicket(b []byte) (*Ticket, error) {
+	d := binDec{buf: b}
+	t := &Ticket{}
+	var err error
+	if t.RC, err = d.str(); err != nil {
+		return nil, err
+	}
+	issued, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	t.IssuedAt = int64(issued)
+	n, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, errors.New("ticket: implausible binding count")
+	}
+	t.Bindings = make([]policy.Binding, n)
+	for i := range t.Bindings {
+		aid, err := d.uint64()
+		if err != nil {
+			return nil, err
+		}
+		a, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		t.Bindings[i] = policy.Binding{Identity: t.RC, AID: attr.ID(aid), Attribute: attr.Attribute(a)}
+	}
+	if t.SessionKey, err = d.bytes(); err != nil {
+		return nil, err
+	}
+	return t, d.done()
+}
+
+// AttributeByAID resolves an AID carried by this ticket.
+func (t *Ticket) AttributeByAID(aid attr.ID) (attr.Attribute, bool) {
+	for _, b := range t.Bindings {
+		if b.AID == aid {
+			return b.Attribute, true
+		}
+	}
+	return "", false
+}
+
+const ticketAAD = "mwskit/ticket/v1"
+
+// Seal encrypts the ticket under the MWS–PKG shared key.
+func (t *Ticket) Seal(mwsPkgKey []byte) ([]byte, error) {
+	plain, err := t.encode()
+	if err != nil {
+		return nil, err
+	}
+	return sealScheme().Seal(mwsPkgKey, plain, []byte(ticketAAD))
+}
+
+// OpenTicket authenticates and decrypts a sealed ticket at the PKG.
+func OpenTicket(mwsPkgKey, blob []byte) (*Ticket, error) {
+	plain, err := sealScheme().Open(mwsPkgKey, blob, []byte(ticketAAD))
+	if err != nil {
+		return nil, fmt.Errorf("ticket: %w", err)
+	}
+	return decodeTicket(plain)
+}
+
+// Token is what the Gatekeeper returns to the RC: the session key it will
+// share with the PKG plus the opaque sealed ticket it must forward.
+type Token struct {
+	SessionKey []byte
+	TicketBlob []byte
+}
+
+const tokenAAD = "mwskit/token/v1"
+
+// SealToken wraps a token to the RC's public key: an RSA-OAEP block
+// carrying a fresh content key, followed by an AEAD ciphertext of the
+// token body.
+func SealToken(rng io.Reader, pub *rsa.PublicKey, tok *Token) ([]byte, error) {
+	if len(tok.SessionKey) != SessionKeyLen {
+		return nil, fmt.Errorf("ticket: token session key must be %d bytes", SessionKeyLen)
+	}
+	contentKey := make([]byte, 32)
+	if _, err := io.ReadFull(rng, contentKey); err != nil {
+		return nil, err
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rng, pub, contentKey, []byte(tokenAAD))
+	if err != nil {
+		return nil, fmt.Errorf("ticket: token wrap: %w", err)
+	}
+	var e binEnc
+	e.putBytes(tok.SessionKey)
+	e.putBytes(tok.TicketBlob)
+	body, err := sealScheme().Seal(contentKey, e.buf, []byte(tokenAAD))
+	if err != nil {
+		return nil, err
+	}
+	var out binEnc
+	out.putBytes(wrapped)
+	out.putBytes(body)
+	return out.buf, nil
+}
+
+// OpenToken unwraps a token with the RC's private key.
+func OpenToken(priv *rsa.PrivateKey, blob []byte) (*Token, error) {
+	d := binDec{buf: blob}
+	wrapped, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	body, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	contentKey, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, priv, wrapped, []byte(tokenAAD))
+	if err != nil {
+		return nil, fmt.Errorf("ticket: token unwrap: %w", err)
+	}
+	plain, err := sealScheme().Open(contentKey, body, []byte(tokenAAD))
+	if err != nil {
+		return nil, fmt.Errorf("ticket: token body: %w", err)
+	}
+	dd := binDec{buf: plain}
+	tok := &Token{}
+	if tok.SessionKey, err = dd.bytes(); err != nil {
+		return nil, err
+	}
+	if tok.TicketBlob, err = dd.bytes(); err != nil {
+		return nil, err
+	}
+	return tok, dd.done()
+}
+
+// Authenticator proves to the PKG that the bearer holds the session key
+// *now*: E(SecK_RC-PKG, ID ‖ T) with a freshness window checked at open.
+type Authenticator struct {
+	RC        string
+	Timestamp time.Time
+}
+
+const authAAD = "mwskit/authenticator/v1"
+
+// SealAuthenticator encrypts the authenticator under the session key.
+func SealAuthenticator(sessionKey []byte, a *Authenticator) ([]byte, error) {
+	var e binEnc
+	e.putString(a.RC)
+	e.putUint64(uint64(a.Timestamp.Unix()))
+	return sealScheme().Seal(sessionKey, e.buf, []byte(authAAD))
+}
+
+// ErrStale is returned when an authenticator's timestamp falls outside
+// the freshness window (replay or severe clock skew).
+var ErrStale = errors.New("ticket: authenticator outside freshness window")
+
+// OpenAuthenticator decrypts and freshness-checks an authenticator: the
+// embedded timestamp must lie within ±window of now.
+func OpenAuthenticator(sessionKey, blob []byte, now time.Time, window time.Duration) (*Authenticator, error) {
+	plain, err := sealScheme().Open(sessionKey, blob, []byte(authAAD))
+	if err != nil {
+		return nil, fmt.Errorf("ticket: authenticator: %w", err)
+	}
+	d := binDec{buf: plain}
+	a := &Authenticator{}
+	if a.RC, err = d.str(); err != nil {
+		return nil, err
+	}
+	ts, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	a.Timestamp = time.Unix(int64(ts), 0)
+	if d := now.Sub(a.Timestamp); d > window || d < -window {
+		return nil, ErrStale
+	}
+	return a, nil
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoder is the append-only field encoder shared by all wire messages.
+// Fields are length-prefixed big-endian; the format is deliberately
+// explicit (no reflection) so the protocol is stable and auditable.
+type Encoder struct{ buf []byte }
+
+// Bytes returns the accumulated encoding.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uint8 appends a one-byte field.
+func (e *Encoder) Uint8(v uint8) { e.buf = append(e.buf, v) }
+
+// Uint32 appends a fixed four-byte field.
+func (e *Encoder) Uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Uint64 appends a fixed eight-byte field.
+func (e *Encoder) Uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int64 appends a signed eight-byte field.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Blob appends a length-prefixed byte field.
+func (e *Encoder) Blob(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Str appends a length-prefixed string field.
+func (e *Encoder) Str(s string) { e.Blob([]byte(s)) }
+
+// Decoder is the matching reader; every accessor fails cleanly on
+// truncated input.
+type Decoder struct{ buf []byte }
+
+// NewDecoder wraps a payload for decoding.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// ErrTruncated reports malformed (short) wire input.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// Uint8 reads a one-byte field.
+func (d *Decoder) Uint8() (uint8, error) {
+	if len(d.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
+
+// Uint32 reads a four-byte field.
+func (d *Decoder) Uint32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+// Uint64 reads an eight-byte field.
+func (d *Decoder) Uint64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+// Int64 reads a signed eight-byte field.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Blob reads a length-prefixed byte field into a fresh slice.
+func (d *Decoder) Blob() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(d.buf)) < n {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out, nil
+}
+
+// Str reads a length-prefixed string field.
+func (d *Decoder) Str() (string, error) {
+	b, err := d.Blob()
+	return string(b), err
+}
+
+// Done verifies the payload was fully consumed.
+func (d *Decoder) Done() error {
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}

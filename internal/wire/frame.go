@@ -1,0 +1,129 @@
+// Package wire defines the MWS network protocol: a length-prefixed binary
+// framing over TCP plus the typed messages of the paper's three protocol
+// phases (Fig 4): SD–MWS deposits, MWS–RC retrieval, and RC–PKG key
+// extraction. The paper's prototype spoke ad-hoc serialized Perl over
+// sockets; this is the production equivalent with versioning, bounded
+// frames, and explicit error replies.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies protocol version 1 frames.
+var Magic = [4]byte{'M', 'W', 'S', '1'}
+
+// Type tags the payload carried by a frame.
+type Type uint8
+
+// Frame types. Requests are odd, their responses even; TError may answer
+// any request.
+const (
+	TError        Type = 0
+	TDeposit      Type = 1
+	TDepositResp  Type = 2
+	TRetrieve     Type = 3
+	TRetrieveResp Type = 4
+	TExtract      Type = 5
+	TExtractResp  Type = 6
+	TParams       Type = 7
+	TParamsResp   Type = 8
+	TPing         Type = 9
+	TPong         Type = 10
+	TTrapdoor     Type = 11
+	TTrapdoorResp Type = 12
+)
+
+// String implements fmt.Stringer for log lines.
+func (t Type) String() string {
+	switch t {
+	case TError:
+		return "Error"
+	case TDeposit:
+		return "Deposit"
+	case TDepositResp:
+		return "DepositResp"
+	case TRetrieve:
+		return "Retrieve"
+	case TRetrieveResp:
+		return "RetrieveResp"
+	case TExtract:
+		return "Extract"
+	case TExtractResp:
+		return "ExtractResp"
+	case TParams:
+		return "Params"
+	case TParamsResp:
+		return "ParamsResp"
+	case TPing:
+		return "Ping"
+	case TPong:
+		return "Pong"
+	case TTrapdoor:
+		return "Trapdoor"
+	case TTrapdoorResp:
+		return "TrapdoorResp"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// MaxFrameLen bounds a frame payload (16 MiB) so a malicious peer cannot
+// force unbounded allocation.
+const MaxFrameLen = 16 << 20
+
+// Frame is one protocol message.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// frame header: magic(4) + type(1) + len(4)
+const headerLen = 9
+
+// WriteFrame writes a frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameLen {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(f.Payload))
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], Magic[:])
+	hdr[4] = byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ErrBadMagic indicates the peer is not speaking MWS protocol v1.
+var ErrBadMagic = errors.New("wire: bad magic")
+
+// ReadFrame reads one frame from r, rejecting oversized or mis-tagged
+// input before allocating.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	if n > MaxFrameLen {
+		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, err
+	}
+	return Frame{Type: Type(hdr[4]), Payload: payload}, nil
+}
+
+// ReadFrameBuffered is ReadFrame over a bufio.Reader (avoids tiny reads).
+func ReadFrameBuffered(br *bufio.Reader) (Frame, error) { return ReadFrame(br) }

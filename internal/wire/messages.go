@@ -1,0 +1,556 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error codes carried by ErrorMsg.
+const (
+	CodeBadRequest uint32 = 1 // malformed or invalid request
+	CodeAuth       uint32 = 2 // authentication / authorization failure
+	CodeReplay     uint32 = 3 // replayed or stale message
+	CodeInternal   uint32 = 4 // server-side failure
+	CodeNotFound   uint32 = 5 // unknown entity
+)
+
+// ErrorMsg is the universal failure response.
+type ErrorMsg struct {
+	Code    uint32
+	Message string
+}
+
+// Error implements the error interface so servers can return decoded
+// ErrorMsg values directly.
+func (e *ErrorMsg) Error() string { return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Message) }
+
+// Marshal encodes the message.
+func (e *ErrorMsg) Marshal() []byte {
+	var enc Encoder
+	enc.Uint32(e.Code)
+	enc.Str(e.Message)
+	return enc.Bytes()
+}
+
+// UnmarshalErrorMsg decodes an ErrorMsg payload.
+func UnmarshalErrorMsg(b []byte) (*ErrorMsg, error) {
+	d := NewDecoder(b)
+	var e ErrorMsg
+	var err error
+	if e.Code, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if e.Message, err = d.Str(); err != nil {
+		return nil, err
+	}
+	return &e, d.Done()
+}
+
+// Device authentication modes for deposits.
+const (
+	// AuthModeMAC is the paper's §V design: HMAC under a key the device
+	// shares with the MWS at registration.
+	AuthModeMAC uint8 = 0
+	// AuthModeIBS is the paper's §VIII extension: a Cha–Cheon
+	// identity-based signature under the device's PKG-extracted key; the
+	// MWS verifies with public parameters only, no shared secret.
+	AuthModeIBS uint8 = 1
+)
+
+// DepositRequest is the SD–MWS phase message (§V.D):
+// rP ‖ C ‖ (A ‖ Nonce) ‖ ID_SD ‖ T ‖ MAC.
+type DepositRequest struct {
+	DeviceID   string
+	Timestamp  int64  // Unix seconds (the paper's T)
+	Attribute  string // A — visible to the MWS by design; it indexes access control
+	Nonce      []byte
+	U          []byte // encoded rP
+	Ciphertext []byte // C
+	Scheme     string // symmetric scheme that produced C
+	AuthMode   uint8  // AuthModeMAC or AuthModeIBS
+	// Tags are optional PEKS keyword tags (encoded peks.Tag values): the
+	// searchable-encryption extension of related work [1]. Opaque to the
+	// MWS, covered by the deposit authenticator.
+	Tags [][]byte
+	MAC  []byte // HMAC tag or encoded IBS signature, per AuthMode
+}
+
+// MACParts returns the fields covered by the authenticator (MAC tag or
+// signature), in protocol order. Both the device and the SD Authenticator
+// authenticate exactly this sequence; AuthMode is included so a tag can
+// never be replayed under the other mode.
+func (r *DepositRequest) MACParts() [][]byte {
+	return [][]byte{
+		{r.AuthMode},
+		r.U,
+		r.Ciphertext,
+		[]byte(r.Attribute),
+		r.Nonce,
+		[]byte(r.DeviceID),
+		i64bytes(r.Timestamp),
+		[]byte(r.Scheme),
+		flattenBlobs(r.Tags),
+	}
+}
+
+// flattenBlobs length-delimits a blob list into one part so variable-
+// count fields have unambiguous coverage under the authenticator.
+func flattenBlobs(blobs [][]byte) []byte {
+	var e Encoder
+	e.Uint32(uint32(len(blobs)))
+	for _, b := range blobs {
+		e.Blob(b)
+	}
+	return e.Bytes()
+}
+
+// AuthBytes returns the canonical length-delimited concatenation of
+// MACParts — the exact byte string an IBS signature covers.
+func (r *DepositRequest) AuthBytes() []byte {
+	var e Encoder
+	for _, p := range r.MACParts() {
+		e.Blob(p)
+	}
+	return e.Bytes()
+}
+
+func i64bytes(v int64) []byte {
+	var e Encoder
+	e.Int64(v)
+	return e.Bytes()
+}
+
+// Marshal encodes the message.
+func (r *DepositRequest) Marshal() []byte {
+	var e Encoder
+	e.Str(r.DeviceID)
+	e.Int64(r.Timestamp)
+	e.Str(r.Attribute)
+	e.Blob(r.Nonce)
+	e.Blob(r.U)
+	e.Blob(r.Ciphertext)
+	e.Str(r.Scheme)
+	e.Uint8(r.AuthMode)
+	e.Uint32(uint32(len(r.Tags)))
+	for _, tg := range r.Tags {
+		e.Blob(tg)
+	}
+	e.Blob(r.MAC)
+	return e.Bytes()
+}
+
+// UnmarshalDepositRequest decodes a DepositRequest payload.
+func UnmarshalDepositRequest(b []byte) (*DepositRequest, error) {
+	d := NewDecoder(b)
+	var r DepositRequest
+	var err error
+	if r.DeviceID, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Timestamp, err = d.Int64(); err != nil {
+		return nil, err
+	}
+	if r.Attribute, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.Nonce, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.U, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.Ciphertext, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.Scheme, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.AuthMode, err = d.Uint8(); err != nil {
+		return nil, err
+	}
+	nTags, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nTags > MaxTags {
+		return nil, errors.New("wire: too many keyword tags")
+	}
+	if nTags > 0 {
+		r.Tags = make([][]byte, nTags)
+		for i := range r.Tags {
+			if r.Tags[i], err = d.Blob(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.MAC, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}
+
+// MaxTags bounds the keyword tags on one deposit.
+const MaxTags = 16
+
+// DepositResponse acknowledges a stored message.
+type DepositResponse struct {
+	Seq uint64
+}
+
+// Marshal encodes the message.
+func (r *DepositResponse) Marshal() []byte {
+	var e Encoder
+	e.Uint64(r.Seq)
+	return e.Bytes()
+}
+
+// UnmarshalDepositResponse decodes a DepositResponse payload.
+func UnmarshalDepositResponse(b []byte) (*DepositResponse, error) {
+	d := NewDecoder(b)
+	var r DepositResponse
+	var err error
+	if r.Seq, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}
+
+// RetrieveRequest is the MWS–RC phase login + fetch (§V.D):
+// ID_RC ‖ E(HashPassword, ID_RC ‖ T ‖ N). FromSeq/Limit page the result.
+type RetrieveRequest struct {
+	RC       string
+	AuthBlob []byte // sealed authenticator under the credential key
+	FromSeq  uint64 // inclusive cursor: only messages with Seq >= FromSeq
+	Limit    uint32 // 0 = no limit
+	// Trapdoor optionally carries an encoded PEKS trapdoor; when present
+	// the MWS returns only messages with a matching keyword tag.
+	Trapdoor []byte
+}
+
+// Marshal encodes the message.
+func (r *RetrieveRequest) Marshal() []byte {
+	var e Encoder
+	e.Str(r.RC)
+	e.Blob(r.AuthBlob)
+	e.Uint64(r.FromSeq)
+	e.Uint32(r.Limit)
+	e.Blob(r.Trapdoor)
+	return e.Bytes()
+}
+
+// UnmarshalRetrieveRequest decodes a RetrieveRequest payload.
+func UnmarshalRetrieveRequest(b []byte) (*RetrieveRequest, error) {
+	d := NewDecoder(b)
+	var r RetrieveRequest
+	var err error
+	if r.RC, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.AuthBlob, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.FromSeq, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if r.Limit, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if r.Trapdoor, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}
+
+// MessageItem is one retrieved message as delivered to an RC:
+// rP ‖ C ‖ (AID ‖ Nonce) ‖ N (§V.D) — note the attribute string has been
+// replaced by the RC-specific AID.
+type MessageItem struct {
+	Seq        uint64
+	AID        uint64
+	Nonce      []byte
+	U          []byte
+	Ciphertext []byte
+	Scheme     string
+	DeviceID   string
+	Timestamp  int64
+}
+
+func (m *MessageItem) encode(e *Encoder) {
+	e.Uint64(m.Seq)
+	e.Uint64(m.AID)
+	e.Blob(m.Nonce)
+	e.Blob(m.U)
+	e.Blob(m.Ciphertext)
+	e.Str(m.Scheme)
+	e.Str(m.DeviceID)
+	e.Int64(m.Timestamp)
+}
+
+func decodeMessageItem(d *Decoder) (MessageItem, error) {
+	var m MessageItem
+	var err error
+	if m.Seq, err = d.Uint64(); err != nil {
+		return m, err
+	}
+	if m.AID, err = d.Uint64(); err != nil {
+		return m, err
+	}
+	if m.Nonce, err = d.Blob(); err != nil {
+		return m, err
+	}
+	if m.U, err = d.Blob(); err != nil {
+		return m, err
+	}
+	if m.Ciphertext, err = d.Blob(); err != nil {
+		return m, err
+	}
+	if m.Scheme, err = d.Str(); err != nil {
+		return m, err
+	}
+	if m.DeviceID, err = d.Str(); err != nil {
+		return m, err
+	}
+	if m.Timestamp, err = d.Int64(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// RetrieveResponse carries the PKG token plus the matching messages.
+type RetrieveResponse struct {
+	TokenBlob []byte // sealed ticket.Token for the PKG phase
+	Items     []MessageItem
+}
+
+// Marshal encodes the message.
+func (r *RetrieveResponse) Marshal() []byte {
+	var e Encoder
+	e.Blob(r.TokenBlob)
+	e.Uint32(uint32(len(r.Items)))
+	for i := range r.Items {
+		r.Items[i].encode(&e)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalRetrieveResponse decodes a RetrieveResponse payload.
+func UnmarshalRetrieveResponse(b []byte) (*RetrieveResponse, error) {
+	d := NewDecoder(b)
+	var r RetrieveResponse
+	var err error
+	if r.TokenBlob, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, errors.New("wire: implausible item count")
+	}
+	r.Items = make([]MessageItem, n)
+	for i := range r.Items {
+		if r.Items[i], err = decodeMessageItem(d); err != nil {
+			return nil, err
+		}
+	}
+	return &r, d.Done()
+}
+
+// ExtractItem names one private key the RC needs: AID ‖ Nonce (§V.D,
+// RC–PKG phase). The RC never sees the attribute behind the AID.
+type ExtractItem struct {
+	AID   uint64
+	Nonce []byte
+}
+
+// ExtractRequest is the RC–PKG phase message:
+// ID_RC ‖ Ticket ‖ Authenticator ‖ (AID ‖ Nonce)*.
+type ExtractRequest struct {
+	RC            string
+	TicketBlob    []byte
+	Authenticator []byte
+	Items         []ExtractItem
+}
+
+// Marshal encodes the message.
+func (r *ExtractRequest) Marshal() []byte {
+	var e Encoder
+	e.Str(r.RC)
+	e.Blob(r.TicketBlob)
+	e.Blob(r.Authenticator)
+	e.Uint32(uint32(len(r.Items)))
+	for _, it := range r.Items {
+		e.Uint64(it.AID)
+		e.Blob(it.Nonce)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalExtractRequest decodes an ExtractRequest payload.
+func UnmarshalExtractRequest(b []byte) (*ExtractRequest, error) {
+	d := NewDecoder(b)
+	var r ExtractRequest
+	var err error
+	if r.RC, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.TicketBlob, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.Authenticator, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, errors.New("wire: implausible extract count")
+	}
+	r.Items = make([]ExtractItem, n)
+	for i := range r.Items {
+		if r.Items[i].AID, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if r.Items[i].Nonce, err = d.Blob(); err != nil {
+			return nil, err
+		}
+	}
+	return &r, d.Done()
+}
+
+// ExtractResponse returns one sealed private key per requested item
+// (order-preserving). Each key is the encoded sI point encrypted under
+// the RC–PKG session key — the paper's "secure channel".
+type ExtractResponse struct {
+	SealedKeys [][]byte
+}
+
+// Marshal encodes the message.
+func (r *ExtractResponse) Marshal() []byte {
+	var e Encoder
+	e.Uint32(uint32(len(r.SealedKeys)))
+	for _, k := range r.SealedKeys {
+		e.Blob(k)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalExtractResponse decodes an ExtractResponse payload.
+func UnmarshalExtractResponse(b []byte) (*ExtractResponse, error) {
+	d := NewDecoder(b)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, errors.New("wire: implausible key count")
+	}
+	r := &ExtractResponse{SealedKeys: make([][]byte, n)}
+	for i := range r.SealedKeys {
+		if r.SealedKeys[i], err = d.Blob(); err != nil {
+			return nil, err
+		}
+	}
+	return r, d.Done()
+}
+
+// ParamsRequest asks the PKG for the public IBE parameters (the paper's
+// SDs "receive system parameters" from the PKG).
+type ParamsRequest struct{}
+
+// Marshal encodes the message.
+func (ParamsRequest) Marshal() []byte { return nil }
+
+// ParamsResponse names the pairing preset and carries P_pub.
+type ParamsResponse struct {
+	Preset string // pairing preset name, e.g. "bf80"
+	PPub   []byte // encoded sP
+}
+
+// Marshal encodes the message.
+func (r *ParamsResponse) Marshal() []byte {
+	var e Encoder
+	e.Str(r.Preset)
+	e.Blob(r.PPub)
+	return e.Bytes()
+}
+
+// UnmarshalParamsResponse decodes a ParamsResponse payload.
+func UnmarshalParamsResponse(b []byte) (*ParamsResponse, error) {
+	d := NewDecoder(b)
+	var r ParamsResponse
+	var err error
+	if r.Preset, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.PPub, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}
+
+// TrapdoorRequest asks the PKG for a PEKS keyword trapdoor. The caller
+// authenticates exactly as for Extract (ticket + fresh authenticator);
+// the keyword itself travels sealed under the RC–PKG session key so the
+// network never sees which term is being searched.
+type TrapdoorRequest struct {
+	RC            string
+	TicketBlob    []byte
+	Authenticator []byte
+	SealedKeyword []byte // AES-256-GCM under the session key
+}
+
+// Marshal encodes the message.
+func (r *TrapdoorRequest) Marshal() []byte {
+	var e Encoder
+	e.Str(r.RC)
+	e.Blob(r.TicketBlob)
+	e.Blob(r.Authenticator)
+	e.Blob(r.SealedKeyword)
+	return e.Bytes()
+}
+
+// UnmarshalTrapdoorRequest decodes a TrapdoorRequest payload.
+func UnmarshalTrapdoorRequest(b []byte) (*TrapdoorRequest, error) {
+	d := NewDecoder(b)
+	var r TrapdoorRequest
+	var err error
+	if r.RC, err = d.Str(); err != nil {
+		return nil, err
+	}
+	if r.TicketBlob, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.Authenticator, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	if r.SealedKeyword, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}
+
+// TrapdoorResponse returns the trapdoor sealed under the session key.
+type TrapdoorResponse struct {
+	SealedTrapdoor []byte
+}
+
+// Marshal encodes the message.
+func (r *TrapdoorResponse) Marshal() []byte {
+	var e Encoder
+	e.Blob(r.SealedTrapdoor)
+	return e.Bytes()
+}
+
+// UnmarshalTrapdoorResponse decodes a TrapdoorResponse payload.
+func UnmarshalTrapdoorResponse(b []byte) (*TrapdoorResponse, error) {
+	d := NewDecoder(b)
+	var r TrapdoorResponse
+	var err error
+	if r.SealedTrapdoor, err = d.Blob(); err != nil {
+		return nil, err
+	}
+	return &r, d.Done()
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler answers one request frame with one response frame. Returning an
+// error closes the connection after an ErrorMsg is sent.
+type Handler interface {
+	HandleFrame(f Frame) Frame
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(f Frame) Frame
+
+// HandleFrame calls the wrapped function.
+func (fn HandlerFunc) HandleFrame(f Frame) Frame { return fn(f) }
+
+// ErrorFrame builds a TError response.
+func ErrorFrame(code uint32, format string, args ...any) Frame {
+	msg := &ErrorMsg{Code: code, Message: fmt.Sprintf(format, args...)}
+	return Frame{Type: TError, Payload: msg.Marshal()}
+}
+
+// Server accepts connections and serves request/response frames; a
+// connection may carry many sequential requests.
+type Server struct {
+	handler Handler
+	logger  *slog.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server around a handler. A nil logger discards logs.
+func NewServer(h Handler, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Server{handler: h, logger: logger, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr ("127.0.0.1:0" for an ephemeral test port) and
+// starts serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, errors.New("wire: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		req, err := ReadFrame(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logger.Debug("wire: read frame", "err", err)
+			}
+			return
+		}
+		var resp Frame
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.logger.Error("wire: handler panic", "type", req.Type, "panic", r)
+					resp = ErrorFrame(CodeInternal, "internal error")
+				}
+			}()
+			resp = s.handler.HandleFrame(req)
+		}()
+		if err := WriteFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a frame-oriented connection to a Server. Do is serialized, so
+// one Client can be shared across goroutines.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects with a context governing the dial.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Do sends a request frame and reads the response frame. A TError
+// response is decoded and returned as *ErrorMsg.
+func (c *Client) Do(req Frame) (Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, req); err != nil {
+		return Frame{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Frame{}, err
+	}
+	resp, err := ReadFrame(c.br)
+	if err != nil {
+		return Frame{}, err
+	}
+	if resp.Type == TError {
+		em, derr := UnmarshalErrorMsg(resp.Payload)
+		if derr != nil {
+			return Frame{}, fmt.Errorf("wire: undecodable error response: %w", derr)
+		}
+		return Frame{}, em
+	}
+	return resp, nil
+}
+
+// SetDeadline bounds the next Do round trip.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
