@@ -14,6 +14,7 @@
 package mwskit
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"os"
@@ -665,7 +666,7 @@ func BenchmarkWALSync(b *testing.B) {
 // --- wire overhead ------------------------------------------------------------
 
 func BenchmarkWireRoundTrip(b *testing.B) {
-	srv := wire.NewServer(wire.HandlerFunc(func(f wire.Frame) wire.Frame {
+	srv := wire.NewServer(wire.HandlerFunc(func(ctx context.Context, f wire.Frame) wire.Frame {
 		return wire.Frame{Type: wire.TPong, Payload: f.Payload}
 	}), nil)
 	addr, err := srv.Listen("127.0.0.1:0")

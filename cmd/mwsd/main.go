@@ -37,9 +37,11 @@ import (
 	"time"
 
 	"mwskit/internal/attr"
+	"mwskit/internal/metrics"
 	"mwskit/internal/mws"
 	"mwskit/internal/policy"
 	"mwskit/internal/policyrule"
+	"mwskit/internal/wire"
 )
 
 func main() {
@@ -52,17 +54,23 @@ func main() {
 	pubKeyFile := flag.String("pubkey", "", "PEM file with the client's RSA public key (register-client)")
 	window := flag.Duration("freshness", 2*time.Minute, "accepted timestamp skew")
 	rulesFile := flag.String("rules-file", "", "optional XACML-style rule file applied at retrieval")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "disconnect connections idle this long (0 disables)")
+	maxConns := flag.Int("max-conns", 4096, "max concurrently served connections (0 = unlimited)")
+	statsEvery := flag.Duration("stats-interval", time.Minute, "per-op stats log period (0 disables)")
 	flag.Parse()
 
 	sharedKey, err := loadOrCreateKey(*keyFile)
 	if err != nil {
 		log.Fatal(err)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	svc, err := mws.New(mws.Config{
 		Dir:             *dir,
 		MWSPKGKey:       sharedKey,
 		FreshnessWindow: *window,
-		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		RequestTimeout:  *reqTimeout,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,12 +98,16 @@ func main() {
 	}
 	switch args[0] {
 	case "serve":
-		srv, bound, err := svc.ListenAndServe(*addr)
+		srv, bound, err := svc.ListenAndServe(*addr,
+			wire.WithIdleTimeout(*idleTimeout), wire.WithMaxConns(*maxConns))
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving MWS on %s (data in %s)", bound, *dir)
+		log.Printf("serving MWS on %s (data in %s, request timeout %v, max conns %d)",
+			bound, *dir, *reqTimeout, *maxConns)
+		stopStats := logStatsPeriodically(*statsEvery, logger, srv, svc.Metrics)
 		waitForSignal()
+		stopStats()
 		if err := srv.Close(); err != nil {
 			log.Fatal(err)
 		}
@@ -196,4 +208,27 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// logStatsPeriodically emits one per-op stats line every interval, giving
+// operators the latency/error surface without scraping. The returned stop
+// function halts the ticker.
+func logStatsPeriodically(interval time.Duration, logger *slog.Logger, srv *wire.Server, snap func() map[string]metrics.OpSnapshot) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				logger.Info("mws stats", "conns", srv.ConnCount(), "ops", metrics.FormatSnapshot(snap()))
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
 }

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"mwskit/internal/keyserver"
+	"mwskit/internal/metrics"
+	"mwskit/internal/wire"
 )
 
 func main() {
@@ -31,6 +33,10 @@ func main() {
 	keyFile := flag.String("shared-key-file", "mws-pkg.key", "hex-encoded 32-byte MWS–PKG shared key")
 	preset := flag.String("preset", "bf80", "pairing parameter preset: test, bf80, bf112")
 	window := flag.Duration("freshness", 2*time.Minute, "accepted timestamp skew")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "disconnect connections idle this long (0 disables)")
+	maxConns := flag.Int("max-conns", 4096, "max concurrently served connections (0 = unlimited)")
+	statsEvery := flag.Duration("stats-interval", time.Minute, "per-op stats log period (0 disables)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*keyFile)
@@ -42,27 +48,48 @@ func main() {
 		log.Fatalf("%s: invalid key material", *keyFile)
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	svc, err := keyserver.New(keyserver.Config{
 		Dir:             *dir,
 		Preset:          *preset,
 		MWSPKGKey:       sharedKey,
 		FreshnessWindow: *window,
-		Logger:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		RequestTimeout:  *reqTimeout,
+		Logger:          logger,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
 
-	srv, bound, err := svc.ListenAndServe(*addr)
+	srv, bound, err := svc.ListenAndServe(*addr,
+		wire.WithIdleTimeout(*idleTimeout), wire.WithMaxConns(*maxConns))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("pkgd: serving PKG on %s (preset %s, data in %s)\n", bound, *preset, *dir)
+	fmt.Printf("pkgd: serving PKG on %s (preset %s, data in %s, request timeout %v, max conns %d)\n",
+		bound, *preset, *dir, *reqTimeout, *maxConns)
+
+	stopStats := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					logger.Info("pkg stats", "conns", srv.ConnCount(), "ops", metrics.FormatSnapshot(svc.Metrics()))
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	close(stopStats)
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}

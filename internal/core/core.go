@@ -33,6 +33,7 @@ import (
 	"mwskit/internal/bfibe"
 	"mwskit/internal/device"
 	"mwskit/internal/keyserver"
+	"mwskit/internal/metrics"
 	"mwskit/internal/mws"
 	"mwskit/internal/rclient"
 	"mwskit/internal/symenc"
@@ -51,6 +52,16 @@ type DeploymentConfig struct {
 	Scheme string
 	// FreshnessWindow bounds protocol timestamp skew (default 2 minutes).
 	FreshnessWindow time.Duration
+	// RequestTimeout bounds each network request end to end; a handler
+	// past the deadline is cut off and the client receives a structured
+	// CodeTimeout error frame (0 = no bound).
+	RequestTimeout time.Duration
+	// IdleTimeout disconnects a connection that sits silent between
+	// frames (0 = no bound).
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections per listener; excess
+	// connections are rejected with CodeUnavailable (0 = no cap).
+	MaxConns int
 	// Sync selects store durability (default SyncAlways; tests and
 	// benchmarks use SyncNever).
 	Sync wal.SyncPolicy
@@ -114,6 +125,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Preset:          cfg.Preset,
 		MWSPKGKey:       sharedKey,
 		FreshnessWindow: cfg.FreshnessWindow,
+		RequestTimeout:  cfg.RequestTimeout,
 		Sync:            cfg.Sync,
 		Rand:            cfg.Rand,
 		Now:             cfg.Now,
@@ -126,6 +138,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Dir:             filepath.Join(cfg.Dir, "mws"),
 		MWSPKGKey:       sharedKey,
 		FreshnessWindow: cfg.FreshnessWindow,
+		RequestTimeout:  cfg.RequestTimeout,
 		Sync:            cfg.Sync,
 		Rand:            cfg.Rand,
 		Now:             cfg.Now,
@@ -166,14 +179,24 @@ func (d *Deployment) Start() error {
 	return d.StartAt("127.0.0.1:0", "127.0.0.1:0")
 }
 
+// serverOptions translates the deployment's transport limits to wire
+// server options.
+func (d *Deployment) serverOptions() []wire.ServerOption {
+	return []wire.ServerOption{
+		wire.WithIdleTimeout(d.cfg.IdleTimeout),
+		wire.WithMaxConns(d.cfg.MaxConns),
+	}
+}
+
 // StartAt binds the MWS and PKG listeners to explicit addresses.
 func (d *Deployment) StartAt(mwsAddr, pkgAddr string) error {
-	srv, bound, err := d.MWS.ListenAndServe(mwsAddr)
+	opts := d.serverOptions()
+	srv, bound, err := d.MWS.ListenAndServe(mwsAddr, opts...)
 	if err != nil {
 		return err
 	}
 	d.mwsServer, d.mwsAddr = srv, bound
-	psrv, pbound, err := d.PKG.ListenAndServe(pkgAddr)
+	psrv, pbound, err := d.PKG.ListenAndServe(pkgAddr, opts...)
 	if err != nil {
 		srv.Close()
 		d.mwsServer = nil
@@ -216,6 +239,21 @@ func (d *Deployment) Close() error {
 	}
 	errs = append(errs, d.MWS.Close(), d.PKG.Close())
 	return errors.Join(errs...)
+}
+
+// MetricsSnapshot returns a point-in-time per-op view across both
+// services, keyed "mws.<Op>" / "pkg.<Op>" — the observable surface the
+// paper's §III(iv) scalability requirement implies. Ops appear once they
+// have served at least one request.
+func (d *Deployment) MetricsSnapshot() map[string]metrics.OpSnapshot {
+	out := make(map[string]metrics.OpSnapshot)
+	for op, s := range d.MWS.Metrics() {
+		out["mws."+op] = s
+	}
+	for op, s := range d.PKG.Metrics() {
+		out["pkg."+op] = s
+	}
+	return out
 }
 
 // Params returns the deployment's public IBE parameters.

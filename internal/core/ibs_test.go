@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestIBSDepositRejectsForgery(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.Ciphertext[0] ^= 1
-		_, err = dep.MWS.Deposit(req)
+		_, err = dep.MWS.Deposit(context.Background(), req)
 		wantAuthErr(t, err)
 	})
 	t.Run("ImpersonatedDevice", func(t *testing.T) {
@@ -72,7 +73,7 @@ func TestIBSDepositRejectsForgery(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.DeviceID = "ibs-meter-2"
-		_, err = dep.MWS.Deposit(req)
+		_, err = dep.MWS.Deposit(context.Background(), req)
 		wantAuthErr(t, err)
 	})
 	t.Run("ModeConfusion", func(t *testing.T) {
@@ -84,7 +85,7 @@ func TestIBSDepositRejectsForgery(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.AuthMode = wire.AuthModeMAC
-		_, err = dep.MWS.Deposit(req)
+		_, err = dep.MWS.Deposit(context.Background(), req)
 		wantAuthErr(t, err)
 	})
 	t.Run("GarbageSignature", func(t *testing.T) {
@@ -93,7 +94,7 @@ func TestIBSDepositRejectsForgery(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.MAC = []byte{1, 2, 3}
-		_, err = dep.MWS.Deposit(req)
+		_, err = dep.MWS.Deposit(context.Background(), req)
 		wantAuthErr(t, err)
 	})
 	t.Run("UnknownMode", func(t *testing.T) {
@@ -102,7 +103,7 @@ func TestIBSDepositRejectsForgery(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.AuthMode = 99
-		_, err = dep.MWS.Deposit(req)
+		_, err = dep.MWS.Deposit(context.Background(), req)
 		var em *wire.ErrorMsg
 		if !errors.As(err, &em) || em.Code != wire.CodeBadRequest {
 			t.Fatalf("err = %v, want bad request", err)
@@ -120,10 +121,10 @@ func TestIBSDepositReplayRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dep.MWS.Deposit(req); err != nil {
+	if _, err := dep.MWS.Deposit(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	_, err = dep.MWS.Deposit(req)
+	_, err = dep.MWS.Deposit(context.Background(), req)
 	var em *wire.ErrorMsg
 	if !errors.As(err, &em) || em.Code != wire.CodeReplay {
 		t.Fatalf("replayed IBS deposit: err = %v, want replay error", err)

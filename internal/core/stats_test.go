@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"mwskit/internal/wire"
+)
+
+// TestStatsCoverEveryRoute is the pipeline's instrumentation-coverage
+// check: after one request per registered route in both services, the
+// TStats introspection op must report a nonzero count for every route.
+// A route added to a service without flowing through the instrumented
+// router fails this test.
+func TestStatsCoverEveryRoute(t *testing.T) {
+	dep := newTestDeployment(t)
+	mwsConn, pkgConn := dialBoth(t, dep)
+
+	services := []struct {
+		name   string
+		conn   *wire.Client
+		types  []wire.Type
+		prefix string
+	}{
+		{"mws", mwsConn, dep.MWS.Router().Types(), "mws."},
+		{"pkg", pkgConn, dep.PKG.Router().Types(), "pkg."},
+	}
+	for _, svc := range services {
+		if len(svc.types) < 3 {
+			t.Fatalf("%s registers only %d routes", svc.name, len(svc.types))
+		}
+		// One request per route. Payloads are junk; an error response
+		// still counts — instrumentation wraps every outcome.
+		for _, typ := range svc.types {
+			svc.conn.Do(wire.Frame{Type: typ})
+		}
+		resp, err := svc.conn.Do(wire.Frame{Type: wire.TStats})
+		if err != nil {
+			t.Fatalf("%s stats: %v", svc.name, err)
+		}
+		if resp.Type != wire.TStatsResp {
+			t.Fatalf("%s stats resp type %s", svc.name, resp.Type)
+		}
+		stats, err := wire.UnmarshalStatsResponse(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byOp := make(map[string]wire.OpStat, len(stats.Ops))
+		for _, op := range stats.Ops {
+			byOp[op.Op] = op
+		}
+		for _, typ := range svc.types {
+			op, ok := byOp[typ.String()]
+			if !ok {
+				t.Errorf("%s route %s registered but unreported by TStats", svc.name, typ)
+				continue
+			}
+			if op.Requests == 0 {
+				t.Errorf("%s route %s reported zero requests", svc.name, typ)
+			}
+		}
+
+		// The same counts must surface in-process through the deployment.
+		snap := dep.MetricsSnapshot()
+		for _, typ := range svc.types {
+			key := svc.prefix + typ.String()
+			if snap[key].Requests == 0 {
+				t.Errorf("MetricsSnapshot missing %s", key)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package keyserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"mwskit/internal/bfibe"
 	"mwskit/internal/ibs"
 	"mwskit/internal/macauth"
+	"mwskit/internal/metrics"
 	"mwskit/internal/pairing"
 	"mwskit/internal/peks"
 	"mwskit/internal/store"
@@ -42,6 +44,10 @@ type Config struct {
 	MWSPKGKey []byte
 	// FreshnessWindow bounds authenticator skew (default 2 minutes).
 	FreshnessWindow time.Duration
+	// RequestTimeout bounds each network request end to end: a handler
+	// past the deadline is cut off and the client receives a structured
+	// CodeTimeout error frame (0 = no bound).
+	RequestTimeout time.Duration
 	// Sync selects store durability (default SyncAlways).
 	Sync wal.SyncPolicy
 	// Rand is the entropy source (default crypto/rand).
@@ -61,6 +67,8 @@ type Service struct {
 	kv     *store.KV
 	replay *macauth.ReplayGuard
 	seal   symenc.Scheme
+	stats  *metrics.Registry
+	router *wire.Router
 }
 
 const masterKeyKey = "master-key"
@@ -104,6 +112,7 @@ func New(cfg Config) (*Service, error) {
 		sys:    sys,
 		kv:     kv,
 		replay: macauth.NewReplayGuard(cfg.FreshnessWindow),
+		stats:  metrics.NewRegistry(),
 	}
 	s.seal, err = symenc.ByName("AES-256-GCM")
 	if err != nil {
@@ -131,6 +140,7 @@ func New(cfg Config) (*Service, error) {
 		s.master = mk
 		s.params = params
 	}
+	s.router = s.buildRouter()
 	return s, nil
 }
 
@@ -169,7 +179,7 @@ const sealedKeyAAD = "mwskit/keyserver/extract/v1"
 // resolve the attribute from the ticket, derive the per-message identity
 // I = SHA1(A ‖ Nonce), extract sI, and return it sealed under the session
 // key — the paper's "secure channel".
-func (s *Service) Extract(req *wire.ExtractRequest) (*wire.ExtractResponse, error) {
+func (s *Service) Extract(ctx context.Context, req *wire.ExtractRequest) (*wire.ExtractResponse, error) {
 	if req == nil {
 		return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty extract"}
 	}
@@ -197,6 +207,12 @@ func (s *Service) Extract(req *wire.ExtractRequest) (*wire.ExtractResponse, erro
 
 	resp := &wire.ExtractResponse{SealedKeys: make([][]byte, len(req.Items))}
 	for i, item := range req.Items {
+		// Each extraction is a scalar multiplication in G1; honor the
+		// request deadline between items so a huge batch cannot pin the
+		// server past its budget.
+		if em := wire.CtxErr(ctx); em != nil {
+			return nil, em
+		}
 		a, ok := tk.AttributeByAID(attr.ID(item.AID))
 		if !ok {
 			// The RC asked for an AID its ticket does not grant.
@@ -230,9 +246,12 @@ const keywordAAD = "mwskit/keyserver/trapdoor/v1"
 // related work [1]): same ticket + authenticator discipline as Extract,
 // with the keyword and the returned trapdoor both sealed under the RC–PKG
 // session key so the search term never travels in the clear.
-func (s *Service) Trapdoor(req *wire.TrapdoorRequest) (*wire.TrapdoorResponse, error) {
+func (s *Service) Trapdoor(ctx context.Context, req *wire.TrapdoorRequest) (*wire.TrapdoorResponse, error) {
 	if req == nil {
 		return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty trapdoor request"}
+	}
+	if em := wire.CtxErr(ctx); em != nil {
+		return nil, em
 	}
 	tk, err := ticket.OpenTicket(s.cfg.MWSPKGKey, req.TicketBlob)
 	if err != nil || tk.RC != req.RC {
@@ -276,48 +295,45 @@ func OpenSealedKey(params *bfibe.Params, sessionKey, sealed []byte) (*bfibe.Priv
 	return bfibe.UnmarshalPrivateKey(params, plain)
 }
 
-// HandleFrame makes *Service a wire.Handler.
-func (s *Service) HandleFrame(f wire.Frame) wire.Frame {
-	switch f.Type {
-	case wire.TPing:
+// buildRouter assembles the PKG's request pipeline: instrumentation
+// outermost (so it observes timeouts too), then the request deadline,
+// then panic recovery closest to the handler.
+func (s *Service) buildRouter() *wire.Router {
+	r := wire.NewRouter()
+	r.Use(
+		wire.Instrument(s.stats),
+		wire.WithTimeout(s.cfg.RequestTimeout),
+		wire.Recover(s.cfg.Logger),
+	)
+	r.HandleFunc(wire.TPing, func(ctx context.Context, f wire.Frame) wire.Frame {
 		return wire.Frame{Type: wire.TPong}
-	case wire.TParams:
-		resp := s.PublicParams()
-		return wire.Frame{Type: wire.TParamsResp, Payload: resp.Marshal()}
-	case wire.TTrapdoor:
-		req, err := wire.UnmarshalTrapdoorRequest(f.Payload)
-		if err != nil {
-			return wire.ErrorFrame(wire.CodeBadRequest, "bad trapdoor request: %v", err)
-		}
-		resp, err := s.Trapdoor(req)
-		if err != nil {
-			if em, ok := err.(*wire.ErrorMsg); ok {
-				return wire.Frame{Type: wire.TError, Payload: em.Marshal()}
-			}
-			return wire.ErrorFrame(wire.CodeInternal, "internal error")
-		}
-		return wire.Frame{Type: wire.TTrapdoorResp, Payload: resp.Marshal()}
-	case wire.TExtract:
-		req, err := wire.UnmarshalExtractRequest(f.Payload)
-		if err != nil {
-			return wire.ErrorFrame(wire.CodeBadRequest, "bad extract: %v", err)
-		}
-		resp, err := s.Extract(req)
-		if err != nil {
-			if em, ok := err.(*wire.ErrorMsg); ok {
-				return wire.Frame{Type: wire.TError, Payload: em.Marshal()}
-			}
-			return wire.ErrorFrame(wire.CodeInternal, "internal error")
-		}
-		return wire.Frame{Type: wire.TExtractResp, Payload: resp.Marshal()}
-	default:
-		return wire.ErrorFrame(wire.CodeBadRequest, "unsupported frame type %s", f.Type)
-	}
+	})
+	r.HandleFunc(wire.TParams, func(ctx context.Context, f wire.Frame) wire.Frame {
+		return wire.Frame{Type: wire.TParamsResp, Payload: s.PublicParams().Marshal()}
+	})
+	wire.Route(r, wire.TExtract, wire.TExtractResp, wire.UnmarshalExtractRequest, s.Extract)
+	wire.Route(r, wire.TTrapdoor, wire.TTrapdoorResp, wire.UnmarshalTrapdoorRequest, s.Trapdoor)
+	wire.RegisterStats(r, s.stats)
+	return r
 }
 
+// Router exposes the PKG's request pipeline (all routes registered,
+// middleware attached).
+func (s *Service) Router() *wire.Router { return s.router }
+
+// Handle dispatches one frame through the pipeline, making *Service a
+// wire.Handler.
+func (s *Service) Handle(ctx context.Context, f wire.Frame) wire.Frame {
+	return s.router.Handle(ctx, f)
+}
+
+// Metrics returns a point-in-time per-op snapshot (request and error
+// counts, latency distribution) keyed by request frame type name.
+func (s *Service) Metrics() map[string]metrics.OpSnapshot { return s.stats.Snapshot() }
+
 // ListenAndServe starts a wire server for the PKG.
-func (s *Service) ListenAndServe(addr string) (*wire.Server, net.Addr, error) {
-	srv := wire.NewServer(s, s.cfg.Logger)
+func (s *Service) ListenAndServe(addr string, opts ...wire.ServerOption) (*wire.Server, net.Addr, error) {
+	srv := wire.NewServer(s.router, s.cfg.Logger, opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, nil, err

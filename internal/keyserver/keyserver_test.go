@@ -1,6 +1,7 @@
 package keyserver
 
 import (
+	"context"
 	"bytes"
 	"crypto/rand"
 	"errors"
@@ -115,7 +116,7 @@ func TestExtractHappyPath(t *testing.T) {
 	tb, sk := mintTicket(t, key, "rc", bindings, clock.Now())
 	nonce, _ := attr.NewNonce(rand.Reader)
 
-	resp, err := s.Extract(&wire.ExtractRequest{
+	resp, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC:            "rc",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, sk, "rc", clock.Now()),
@@ -161,7 +162,7 @@ func TestExtractRejectsUngrantedAID(t *testing.T) {
 	s, key, clock := newTestPKG(t)
 	tb, sk := mintTicket(t, key, "rc", []policy.Binding{{Identity: "rc", Attribute: "A1", AID: 1}}, clock.Now())
 	nonce, _ := attr.NewNonce(rand.Reader)
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC:            "rc",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, sk, "rc", clock.Now()),
@@ -178,7 +179,7 @@ func TestExtractRejectsForgedTicket(t *testing.T) {
 	rand.Read(otherKey)
 	tb, sk := mintTicket(t, otherKey, "rc", nil, clock.Now())
 	nonce, _ := attr.NewNonce(rand.Reader)
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC:            "rc",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, sk, "rc", clock.Now()),
@@ -194,7 +195,7 @@ func TestExtractRejectsRCMismatch(t *testing.T) {
 	tb, sk := mintTicket(t, key, "rc-real", []policy.Binding{{Identity: "rc-real", Attribute: "A1", AID: 1}}, clock.Now())
 	nonce, _ := attr.NewNonce(rand.Reader)
 	// Request under a different RC name than the ticket was minted for.
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC:            "rc-thief",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, sk, "rc-thief", clock.Now()),
@@ -210,7 +211,7 @@ func TestExtractRejectsWrongSessionKeyAuthenticator(t *testing.T) {
 	tb, _ := mintTicket(t, key, "rc", []policy.Binding{{Identity: "rc", Attribute: "A1", AID: 1}}, clock.Now())
 	wrongSK, _ := ticket.NewSessionKey(rand.Reader)
 	nonce, _ := attr.NewNonce(rand.Reader)
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC:            "rc",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, wrongSK, "rc", clock.Now()),
@@ -230,10 +231,10 @@ func TestExtractRejectsReplayedAuthenticator(t *testing.T) {
 		RC: "rc", TicketBlob: tb, Authenticator: ab,
 		Items: []wire.ExtractItem{{AID: 1, Nonce: nonce[:]}},
 	}
-	if _, err := s.Extract(req); err != nil {
+	if _, err := s.Extract(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	_, err := s.Extract(req)
+	_, err := s.Extract(context.Background(), req)
 	if code := wireCode(t, err); code != wire.CodeReplay {
 		t.Fatalf("replay code = %d", code)
 	}
@@ -245,7 +246,7 @@ func TestExtractRejectsStaleAuthenticator(t *testing.T) {
 	nonce, _ := attr.NewNonce(rand.Reader)
 	ab := authBlob(t, sk, "rc", clock.Now())
 	clock.Advance(time.Hour)
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC: "rc", TicketBlob: tb, Authenticator: ab,
 		Items: []wire.ExtractItem{{AID: 1, Nonce: nonce[:]}},
 	})
@@ -257,7 +258,7 @@ func TestExtractRejectsStaleAuthenticator(t *testing.T) {
 func TestExtractRejectsBadNonce(t *testing.T) {
 	s, key, clock := newTestPKG(t)
 	tb, sk := mintTicket(t, key, "rc", []policy.Binding{{Identity: "rc", Attribute: "A1", AID: 1}}, clock.Now())
-	_, err := s.Extract(&wire.ExtractRequest{
+	_, err := s.Extract(context.Background(), &wire.ExtractRequest{
 		RC: "rc", TicketBlob: tb,
 		Authenticator: authBlob(t, sk, "rc", clock.Now()),
 		Items:         []wire.ExtractItem{{AID: 1, Nonce: []byte("short")}},
@@ -294,16 +295,16 @@ func TestMasterKeyPersistsAcrossRestart(t *testing.T) {
 
 func TestHandleFrameDispatch(t *testing.T) {
 	s, _, _ := newTestPKG(t)
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TPing}); resp.Type != wire.TPong {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TPing}); resp.Type != wire.TPong {
 		t.Fatal("ping broken")
 	}
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TParams}); resp.Type != wire.TParamsResp {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TParams}); resp.Type != wire.TParamsResp {
 		t.Fatal("params broken")
 	}
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TExtract, Payload: []byte{1}}); resp.Type != wire.TError {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TExtract, Payload: []byte{1}}); resp.Type != wire.TError {
 		t.Fatal("garbage extract not rejected")
 	}
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TDeposit}); resp.Type != wire.TError {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TDeposit}); resp.Type != wire.TError {
 		t.Fatal("deposit should be unsupported on the PKG")
 	}
 }

@@ -1,6 +1,7 @@
 package keyserver
 
 import (
+	"context"
 	"crypto/rand"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func TestTrapdoorHappyPath(t *testing.T) {
 	s, key, clock := newTestPKG(t)
 	tb, sk := mintTicket(t, key, "auditor", nil, clock.Now())
 
-	resp, err := s.Trapdoor(&wire.TrapdoorRequest{
+	resp, err := s.Trapdoor(context.Background(), &wire.TrapdoorRequest{
 		RC:            "auditor",
 		TicketBlob:    tb,
 		Authenticator: authBlob(t, sk, "auditor", clock.Now()),
@@ -71,7 +72,7 @@ func TestTrapdoorAuthFailures(t *testing.T) {
 		otherKey := make([]byte, 32)
 		rand.Read(otherKey)
 		fb, fsk := mintTicket(t, otherKey, "auditor", nil, clock.Now())
-		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+		_, err := s.Trapdoor(context.Background(), &wire.TrapdoorRequest{
 			RC: "auditor", TicketBlob: fb,
 			Authenticator: authBlob(t, fsk, "auditor", clock.Now()),
 			SealedKeyword: sealKeyword(t, fsk, "kw"),
@@ -82,7 +83,7 @@ func TestTrapdoorAuthFailures(t *testing.T) {
 	})
 	t.Run("WrongSessionKeyKeyword", func(t *testing.T) {
 		wrongSK, _ := ticket.NewSessionKey(rand.Reader)
-		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+		_, err := s.Trapdoor(context.Background(), &wire.TrapdoorRequest{
 			RC: "auditor", TicketBlob: tb,
 			Authenticator: authBlob(t, sk, "auditor", clock.Now()),
 			SealedKeyword: sealKeyword(t, wrongSK, "kw"),
@@ -98,17 +99,17 @@ func TestTrapdoorAuthFailures(t *testing.T) {
 			Authenticator: ab,
 			SealedKeyword: sealKeyword(t, sk, "kw"),
 		}
-		if _, err := s.Trapdoor(req); err != nil {
+		if _, err := s.Trapdoor(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
-		_, err := s.Trapdoor(req)
+		_, err := s.Trapdoor(context.Background(), req)
 		if code := wireCode(t, err); code != wire.CodeReplay {
 			t.Fatalf("code = %d", code)
 		}
 	})
 	t.Run("RCMismatch", func(t *testing.T) {
 		clock.Advance(time.Second)
-		_, err := s.Trapdoor(&wire.TrapdoorRequest{
+		_, err := s.Trapdoor(context.Background(), &wire.TrapdoorRequest{
 			RC: "impostor", TicketBlob: tb,
 			Authenticator: authBlob(t, sk, "impostor", clock.Now()),
 			SealedKeyword: sealKeyword(t, sk, "kw"),
@@ -127,11 +128,11 @@ func TestTrapdoorFrameDispatch(t *testing.T) {
 		Authenticator: authBlob(t, sk, "rc", clock.Now()),
 		SealedKeyword: sealKeyword(t, sk, "kw"),
 	}
-	resp := s.HandleFrame(wire.Frame{Type: wire.TTrapdoor, Payload: req.Marshal()})
+	resp := s.Handle(context.Background(), wire.Frame{Type: wire.TTrapdoor, Payload: req.Marshal()})
 	if resp.Type != wire.TTrapdoorResp {
 		t.Fatalf("frame dispatch -> %s", resp.Type)
 	}
-	if bad := s.HandleFrame(wire.Frame{Type: wire.TTrapdoor, Payload: []byte{1}}); bad.Type != wire.TError {
+	if bad := s.Handle(context.Background(), wire.Frame{Type: wire.TTrapdoor, Payload: []byte{1}}); bad.Type != wire.TError {
 		t.Fatal("garbage trapdoor frame accepted")
 	}
 }

@@ -1,31 +1,73 @@
-// Package metrics provides the lightweight instrumentation the benchmark
-// harness uses to report latency distributions and throughput — the
-// numbers the paper's evaluation never published but its §III(iv)
-// scalability requirement demands.
+// Package metrics provides the lightweight instrumentation the server
+// pipeline and benchmark harness use to report latency distributions and
+// throughput — the numbers the paper's evaluation never published but its
+// §III(iv) scalability requirement demands.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Histogram records durations and reports percentile statistics. Safe for
+// DefaultReservoirSize bounds the samples a Histogram retains. 2048
+// samples keep percentile error under ~1% while holding memory constant
+// no matter how long the server runs.
+const DefaultReservoirSize = 2048
+
+// Histogram records durations and reports percentile statistics. It keeps
+// a fixed-size uniform reservoir (Vitter's Algorithm R), so memory stays
+// bounded on a long-running server while Min, Max, Mean, Total, and Count
+// remain exact; percentiles are estimated from the reservoir. Safe for
 // concurrent use.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	mu       sync.Mutex
+	capacity int
+	samples  []time.Duration // reservoir, len <= capacity
+	count    uint64          // total observations, exact
+	total    time.Duration
+	min, max time.Duration
+	rng      uint64 // xorshift64 state for reservoir replacement
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+// NewHistogram returns an empty histogram with the default reservoir size.
+func NewHistogram() *Histogram { return NewHistogramSize(DefaultReservoirSize) }
+
+// NewHistogramSize returns an empty histogram retaining at most n samples.
+func NewHistogramSize(n int) *Histogram {
+	if n <= 0 {
+		n = DefaultReservoirSize
+	}
+	return &Histogram{capacity: n, rng: 0x9E3779B97F4A7C15}
+}
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if h.count == 0 || d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.total += d
+	if len(h.samples) < h.capacity {
+		h.samples = append(h.samples, d)
+	} else {
+		// Replace a random slot with probability capacity/count, which
+		// keeps every observation equally likely to be in the reservoir.
+		h.rng ^= h.rng << 13
+		h.rng ^= h.rng >> 7
+		h.rng ^= h.rng << 17
+		if idx := h.rng % h.count; idx < uint64(h.capacity) {
+			h.samples[idx] = d
+		}
+	}
 	h.mu.Unlock()
 }
 
@@ -36,14 +78,16 @@ func (h *Histogram) Time(fn func()) {
 	h.Observe(time.Since(start))
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of observations (not the retained sample count).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Snapshot summarizes the recorded samples.
+// Snapshot summarizes the recorded samples. Count, Min, Max, Mean, and
+// Total are exact; the percentiles are reservoir estimates once the
+// observation count exceeds the reservoir size.
 type Snapshot struct {
 	Count          int
 	Min, Max, Mean time.Duration
@@ -56,15 +100,12 @@ func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	samples := make([]time.Duration, len(h.samples))
 	copy(samples, h.samples)
+	count, total, min, max := h.count, h.total, h.min, h.max
 	h.mu.Unlock()
-	if len(samples) == 0 {
+	if count == 0 {
 		return Snapshot{}
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var total time.Duration
-	for _, s := range samples {
-		total += s
-	}
 	pct := func(p float64) time.Duration {
 		idx := int(math.Ceil(p*float64(len(samples)))) - 1
 		if idx < 0 {
@@ -76,10 +117,10 @@ func (h *Histogram) Snapshot() Snapshot {
 		return samples[idx]
 	}
 	return Snapshot{
-		Count: len(samples),
-		Min:   samples[0],
-		Max:   samples[len(samples)-1],
-		Mean:  total / time.Duration(len(samples)),
+		Count: int(count),
+		Min:   min,
+		Max:   max,
+		Mean:  total / time.Duration(count),
 		P50:   pct(0.50),
 		P90:   pct(0.90),
 		P99:   pct(0.99),
@@ -104,22 +145,107 @@ func Throughput(count int, elapsed time.Duration) float64 {
 	return float64(count) / elapsed.Seconds()
 }
 
-// Counter is a concurrent monotonically increasing counter.
+// Counter is a monotonically increasing counter, safe for concurrent use.
 type Counter struct {
-	mu sync.Mutex
-	n  uint64
+	n atomic.Uint64
 }
 
 // Add increments the counter by delta.
-func (c *Counter) Add(delta uint64) {
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
-}
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// opStats is one operation's instrumentation: request/error totals plus a
+// latency reservoir.
+type opStats struct {
+	requests Counter
+	errors   Counter
+	latency  *Histogram
+}
+
+// Registry tracks per-operation request counts, error counts, and latency
+// distributions. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu  sync.RWMutex
+	ops map[string]*opStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{ops: make(map[string]*opStats)} }
+
+func (r *Registry) get(op string) *opStats {
+	r.mu.RLock()
+	s, ok := r.ops[op]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.ops[op]; ok {
+		return s
+	}
+	s = &opStats{latency: NewHistogram()}
+	r.ops[op] = s
+	return s
+}
+
+// Observe records one completed operation.
+func (r *Registry) Observe(op string, d time.Duration, isErr bool) {
+	s := r.get(op)
+	s.requests.Inc()
+	if isErr {
+		s.errors.Inc()
+	}
+	s.latency.Observe(d)
+}
+
+// OpSnapshot is one operation's totals and latency summary.
+type OpSnapshot struct {
+	Requests uint64
+	Errors   uint64
+	Latency  Snapshot
+}
+
+// String renders the op snapshot as one report row.
+func (s OpSnapshot) String() string {
+	return fmt.Sprintf("requests=%d errors=%d %s", s.Requests, s.Errors, s.Latency)
+}
+
+// Snapshot returns a point-in-time view of every operation observed so far.
+func (r *Registry) Snapshot() map[string]OpSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]OpSnapshot, len(r.ops))
+	for op, s := range r.ops {
+		out[op] = OpSnapshot{
+			Requests: s.requests.Value(),
+			Errors:   s.errors.Value(),
+			Latency:  s.latency.Snapshot(),
+		}
+	}
+	return out
+}
+
+// FormatSnapshot renders a registry snapshot as one stable, sorted log
+// line ("op: requests=... errors=... n=... p50=... | ..."), the format the
+// daemons' periodic stats lines use.
+func FormatSnapshot(snap map[string]OpSnapshot) string {
+	if len(snap) == 0 {
+		return "no requests served"
+	}
+	ops := make([]string, 0, len(snap))
+	for op := range snap {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	parts := make([]string, 0, len(ops))
+	for _, op := range ops {
+		parts = append(parts, fmt.Sprintf("%s: %s", op, snap[op]))
+	}
+	return strings.Join(parts, " | ")
 }

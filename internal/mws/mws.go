@@ -17,6 +17,7 @@
 package mws
 
 import (
+	"context"
 	"crypto/rsa"
 	"errors"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"mwskit/internal/bfibe"
 	"mwskit/internal/ibs"
 	"mwskit/internal/macauth"
+	"mwskit/internal/metrics"
 	"mwskit/internal/peks"
 	"mwskit/internal/policy"
 	"mwskit/internal/policyrule"
@@ -51,6 +53,10 @@ type Config struct {
 	// FreshnessWindow bounds accepted timestamp skew for deposits and
 	// logins (default 2 minutes).
 	FreshnessWindow time.Duration
+	// RequestTimeout bounds each network request end to end: a handler
+	// past the deadline is cut off and the client receives a structured
+	// CodeTimeout error frame (0 = no bound).
+	RequestTimeout time.Duration
 	// Sync selects store durability (default SyncAlways).
 	Sync wal.SyncPolicy
 	// Rand is the entropy source (default crypto/rand via attr.RandReader).
@@ -82,6 +88,9 @@ type Service struct {
 
 	rulesMu sync.RWMutex
 	rules   *policyrule.Set
+
+	stats  *metrics.Registry
+	router *wire.Router
 }
 
 // New opens (or creates) an MWS instance rooted at cfg.Dir.
@@ -131,7 +140,7 @@ func New(cfg Config) (*Service, error) {
 	if rules == nil {
 		rules = policyrule.PermitAll()
 	}
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		devices:  devices,
 		replay:   macauth.NewReplayGuard(cfg.FreshnessWindow),
@@ -140,7 +149,10 @@ func New(cfg Config) (*Service, error) {
 		policies: policies,
 		users:    users,
 		rules:    rules,
-	}, nil
+		stats:    metrics.NewRegistry(),
+	}
+	s.router = s.buildRouter()
+	return s, nil
 }
 
 // anyTagMatches tests a message's PEKS tags against a trapdoor;
@@ -240,9 +252,12 @@ func (s *Service) MessageCount() int { return s.messages.Count() }
 // the device's shared key, freshness + replay check on (MAC, T), then
 // durable append to the message database. This is the paper's SD
 // Authenticator behaviour: unauthenticated messages are discarded (§V.B).
-func (s *Service) Deposit(req *wire.DepositRequest) (uint64, error) {
+func (s *Service) Deposit(ctx context.Context, req *wire.DepositRequest) (uint64, error) {
 	if req == nil {
 		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty deposit"}
+	}
+	if em := wire.CtxErr(ctx); em != nil {
+		return 0, em
 	}
 	a := attr.Attribute(req.Attribute)
 	if err := a.Validate(); err != nil {
@@ -283,6 +298,11 @@ func (s *Service) Deposit(req *wire.DepositRequest) (uint64, error) {
 	if len(req.Tags) > wire.MaxTags {
 		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "too many keyword tags"}
 	}
+	// Deadline checkpoint before the durable write: a timed-out deposit
+	// must not be stored after its client has already seen the failure.
+	if em := wire.CtxErr(ctx); em != nil {
+		return 0, em
+	}
 	seq, err := s.messages.Put(&store.Message{
 		DeviceID:   req.DeviceID,
 		Attribute:  a,
@@ -306,9 +326,12 @@ func (s *Service) Deposit(req *wire.DepositRequest) (uint64, error) {
 // Retrieve authenticates an RC and returns its pending messages plus a
 // fresh PKG token. Message attributes are translated to the RC's own
 // AIDs; the attribute strings never leave the MWS (§V.D).
-func (s *Service) Retrieve(req *wire.RetrieveRequest) (*wire.RetrieveResponse, error) {
+func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wire.RetrieveResponse, error) {
 	if req == nil {
 		return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty retrieve"}
+	}
+	if em := wire.CtxErr(ctx); em != nil {
+		return nil, em
 	}
 	now := s.cfg.Now()
 
@@ -362,6 +385,11 @@ func (s *Service) Retrieve(req *wire.RetrieveRequest) (*wire.RetrieveResponse, e
 		}
 		filtered := msgs[:0:0]
 		for _, m := range msgs {
+			// Each tag test costs a pairing; honor the request deadline
+			// between messages so a huge backlog cannot pin the server.
+			if em := wire.CtxErr(ctx); em != nil {
+				return nil, em
+			}
 			if s.anyTagMatches(m.Tags, td) {
 				filtered = append(filtered, m)
 				if req.Limit > 0 && len(filtered) == int(req.Limit) {
@@ -386,6 +414,9 @@ func (s *Service) Retrieve(req *wire.RetrieveRequest) (*wire.RetrieveResponse, e
 	}
 
 	// TG: mint the RC–PKG session key, seal the ticket, wrap the token.
+	if em := wire.CtxErr(ctx); em != nil {
+		return nil, em
+	}
 	sessionKey, err := ticket.NewSessionKey(s.cfg.Rand)
 	if err != nil {
 		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "session key"}

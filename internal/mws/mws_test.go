@@ -1,6 +1,7 @@
 package mws
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"errors"
@@ -110,7 +111,7 @@ func TestDepositHappyPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := s.Deposit(req)
+	seq, err := s.Deposit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestDepositHappyPath(t *testing.T) {
 	}
 	// Second deposit gets the next sequence.
 	req2, _ := d.PrepareDeposit("ELECTRIC-APT-SV-CA", []byte("reading=43"))
-	seq2, err := s.Deposit(req2)
+	seq2, err := s.Deposit(context.Background(), req2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestDepositRejectsUnknownDevice(t *testing.T) {
 	d := registerTestDevice(t, s, clock, "meter-1")
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
 	req.DeviceID = "ghost-meter"
-	if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeAuth {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeAuth {
 		t.Fatalf("code = %d, want CodeAuth", code)
 	}
 }
@@ -159,14 +160,14 @@ func TestDepositRejectsBadMAC(t *testing.T) {
 	t.Run("FlippedMAC", func(t *testing.T) {
 		req, _ := d.PrepareDeposit("A1", []byte("m"))
 		req.MAC[0] ^= 1
-		if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeAuth {
+		if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
 	})
 	t.Run("TamperedCiphertext", func(t *testing.T) {
 		req, _ := d.PrepareDeposit("A1", []byte("m"))
 		req.Ciphertext[0] ^= 1
-		if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeAuth {
+		if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
 	})
@@ -175,7 +176,7 @@ func TestDepositRejectsBadMAC(t *testing.T) {
 		// swapping, otherwise a tampered message routes to the wrong RCs.
 		req, _ := d.PrepareDeposit("A1", []byte("m"))
 		req.Attribute = "A2"
-		if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeAuth {
+		if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
 	})
@@ -185,10 +186,10 @@ func TestDepositRejectsReplay(t *testing.T) {
 	s, clock := newTestService(t)
 	d := registerTestDevice(t, s, clock, "meter-1")
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
-	if _, err := s.Deposit(req); err != nil {
+	if _, err := s.Deposit(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
-	if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeReplay {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeReplay {
 		t.Fatalf("replay code = %d", code)
 	}
 }
@@ -198,7 +199,7 @@ func TestDepositRejectsStaleTimestamp(t *testing.T) {
 	d := registerTestDevice(t, s, clock, "meter-1")
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
 	clock.Advance(10 * time.Minute) // message is now far in the past
-	if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeReplay {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeReplay {
 		t.Fatalf("stale code = %d", code)
 	}
 }
@@ -210,7 +211,7 @@ func TestDepositAfterDeviceRevocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
-	if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeAuth {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeAuth {
 		t.Fatalf("code = %d", code)
 	}
 }
@@ -218,17 +219,17 @@ func TestDepositAfterDeviceRevocation(t *testing.T) {
 func TestDepositValidation(t *testing.T) {
 	s, clock := newTestService(t)
 	d := registerTestDevice(t, s, clock, "meter-1")
-	if _, err := s.Deposit(nil); err == nil {
+	if _, err := s.Deposit(context.Background(), nil); err == nil {
 		t.Error("nil deposit accepted")
 	}
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
 	req.Attribute = "not valid!"
-	if code := wireCode(t, errOf(s.Deposit(req))); code != wire.CodeBadRequest {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req))); code != wire.CodeBadRequest {
 		t.Errorf("bad attribute code = %d", code)
 	}
 	req2, _ := d.PrepareDeposit("A1", []byte("m"))
 	req2.Nonce = req2.Nonce[:4]
-	if code := wireCode(t, errOf(s.Deposit(req2))); code != wire.CodeBadRequest {
+	if code := wireCode(t, errOf(s.Deposit(context.Background(), req2))); code != wire.CodeBadRequest {
 		t.Errorf("bad nonce code = %d", code)
 	}
 }
@@ -261,13 +262,13 @@ func TestRetrieveHappyPath(t *testing.T) {
 	// Deposit two electric and one water message.
 	for _, a := range []attr.Attribute{"ELECTRIC-X", "ELECTRIC-X", "WATER-X"} {
 		req, _ := d.PrepareDeposit(a, []byte("m"))
-		if _, err := s.Deposit(req); err != nil {
+		if _, err := s.Deposit(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 		clock.Advance(time.Second)
 	}
 
-	resp, err := s.Retrieve(&wire.RetrieveRequest{RC: "c-services", AuthBlob: login()})
+	resp, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "c-services", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestRetrieveAuthFailures(t *testing.T) {
 	login := enrollRC(t, s, clock, "rc-1", []byte("correct"))
 
 	t.Run("UnknownRC", func(t *testing.T) {
-		_, err := s.Retrieve(&wire.RetrieveRequest{RC: "nobody", AuthBlob: login()})
+		_, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "nobody", AuthBlob: login()})
 		if code := wireCode(t, err); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
@@ -308,7 +309,7 @@ func TestRetrieveAuthFailures(t *testing.T) {
 	t.Run("WrongPassword", func(t *testing.T) {
 		cred := userdb.CredentialKey("rc-1", []byte("wrong"))
 		blob, _ := ticket.SealAuthenticator(cred, &ticket.Authenticator{RC: "rc-1", Timestamp: clock.Now()})
-		_, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
+		_, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
 		if code := wireCode(t, err); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
@@ -322,17 +323,17 @@ func TestRetrieveAuthFailures(t *testing.T) {
 		}
 		cred2 := userdb.CredentialKey("rc-2", []byte("correct2"))
 		blob, _ := ticket.SealAuthenticator(cred2, &ticket.Authenticator{RC: "rc-1", Timestamp: clock.Now()})
-		_, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc-2", AuthBlob: blob})
+		_, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc-2", AuthBlob: blob})
 		if code := wireCode(t, err); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
 	})
 	t.Run("ReplayedLogin", func(t *testing.T) {
 		blob := login()
-		if _, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob}); err != nil {
+		if _, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob}); err != nil {
 			t.Fatal(err)
 		}
-		_, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
+		_, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
 		if code := wireCode(t, err); code != wire.CodeReplay {
 			t.Fatalf("code = %d", code)
 		}
@@ -340,7 +341,7 @@ func TestRetrieveAuthFailures(t *testing.T) {
 	t.Run("StaleLogin", func(t *testing.T) {
 		blob := login()
 		clock.Advance(time.Hour)
-		_, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
+		_, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc-1", AuthBlob: blob})
 		if code := wireCode(t, err); code != wire.CodeAuth {
 			t.Fatalf("code = %d", code)
 		}
@@ -357,14 +358,14 @@ func TestRetrieveCursorAndLimit(t *testing.T) {
 	var lastSeq uint64
 	for i := 0; i < 10; i++ {
 		req, _ := d.PrepareDeposit("A1", []byte{byte(i)})
-		seq, err := s.Deposit(req)
+		seq, err := s.Deposit(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		lastSeq = seq
 		clock.Advance(time.Second)
 	}
-	resp, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc", AuthBlob: login(), Limit: 4})
+	resp, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc", AuthBlob: login(), Limit: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -372,7 +373,7 @@ func TestRetrieveCursorAndLimit(t *testing.T) {
 		t.Fatalf("limit ignored: %d items", len(resp.Items))
 	}
 	clock.Advance(time.Second)
-	resp2, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc", AuthBlob: login(), FromSeq: lastSeq - 1})
+	resp2, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc", AuthBlob: login(), FromSeq: lastSeq - 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,14 +390,14 @@ func TestRetrieveAfterRevocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	req, _ := d.PrepareDeposit("ELECTRIC-X", []byte("m"))
-	if _, err := s.Deposit(req); err != nil {
+	if _, err := s.Deposit(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Second)
 	if err := s.Revoke("c-services", "ELECTRIC-X"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := s.Retrieve(&wire.RetrieveRequest{RC: "c-services", AuthBlob: login()})
+	resp, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "c-services", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,21 +418,21 @@ func TestHandleFrameDispatch(t *testing.T) {
 	d := registerTestDevice(t, s, clock, "meter-1")
 
 	// Ping.
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TPing}); resp.Type != wire.TPong {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TPing}); resp.Type != wire.TPong {
 		t.Fatalf("ping -> %s", resp.Type)
 	}
 	// Deposit through the frame path.
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
-	resp := s.HandleFrame(wire.Frame{Type: wire.TDeposit, Payload: req.Marshal()})
+	resp := s.Handle(context.Background(), wire.Frame{Type: wire.TDeposit, Payload: req.Marshal()})
 	if resp.Type != wire.TDepositResp {
 		t.Fatalf("deposit -> %s", resp.Type)
 	}
 	// Garbage payload.
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TDeposit, Payload: []byte{1}}); resp.Type != wire.TError {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TDeposit, Payload: []byte{1}}); resp.Type != wire.TError {
 		t.Fatal("garbage deposit not rejected")
 	}
 	// Unknown type.
-	if resp := s.HandleFrame(wire.Frame{Type: wire.TExtract}); resp.Type != wire.TError {
+	if resp := s.Handle(context.Background(), wire.Frame{Type: wire.TExtract}); resp.Type != wire.TError {
 		t.Fatal("extract should be unsupported on the MWS")
 	}
 }
@@ -457,7 +458,7 @@ func TestServiceDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
-	if _, err := s.Deposit(req); err != nil {
+	if _, err := s.Deposit(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -478,7 +479,7 @@ func TestServiceDurability(t *testing.T) {
 	clock.Advance(time.Second)
 	// Device key survived: a fresh deposit authenticates.
 	req2, _ := d.PrepareDeposit("A1", []byte("m2"))
-	if _, err := s2.Deposit(req2); err != nil {
+	if _, err := s2.Deposit(context.Background(), req2); err != nil {
 		t.Fatalf("post-restart deposit: %v", err)
 	}
 }

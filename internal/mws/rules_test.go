@@ -1,6 +1,7 @@
 package mws
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,14 +28,14 @@ func TestRuleLayerFiltersRetrieval(t *testing.T) {
 	}
 	for _, a := range []string{"WATER-X", "ELECTRIC-X"} {
 		req, _ := d.PrepareDeposit(attrT(a), []byte("m"))
-		if _, err := s.Deposit(req); err != nil {
+		if _, err := s.Deposit(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 		clock.Advance(time.Second)
 	}
 
 	// No rules: both messages visible.
-	resp, err := s.Retrieve(&wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
+	resp, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRuleLayerFiltersRetrieval(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Second)
-	resp2, err := s.Retrieve(&wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
+	resp2, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRuleLayerFiltersRetrieval(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Second)
-	resp3, err := s.Retrieve(&wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
+	resp3, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "contractor-7", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRuleLayerTimeWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	req, _ := d.PrepareDeposit("A1", []byte("m"))
-	if _, err := s.Deposit(req); err != nil {
+	if _, err := s.Deposit(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	clock.Advance(time.Second)
@@ -98,7 +99,7 @@ func TestRuleLayerTimeWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc", AuthBlob: login()})
+	resp, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestRuleLayerTimeWindow(t *testing.T) {
 	}
 	// Time passes beyond the contract.
 	clock.Advance(2 * time.Hour)
-	resp2, err := s.Retrieve(&wire.RetrieveRequest{RC: "rc", AuthBlob: login()})
+	resp2, err := s.Retrieve(context.Background(), &wire.RetrieveRequest{RC: "rc", AuthBlob: login()})
 	if err != nil {
 		t.Fatal(err)
 	}

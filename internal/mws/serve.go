@@ -1,56 +1,61 @@
 package mws
 
 import (
+	"context"
 	"net"
 
+	"mwskit/internal/metrics"
 	"mwskit/internal/wire"
 )
 
-// HandleFrame dispatches wire requests to the service, making *Service a
-// wire.Handler. Both the SD-facing and RC-facing operations share one
-// endpoint; the paper runs them as two servers (MWS-SD, MWS-Client), and
-// cmd/mwsd can bind two listeners to the same Service to mirror that.
-func (s *Service) HandleFrame(f wire.Frame) wire.Frame {
-	switch f.Type {
-	case wire.TPing:
+// buildRouter assembles the service's request pipeline. Every route runs
+// under the same middleware stack — instrumentation outermost (so it
+// observes timeouts too), then the request deadline, then panic recovery
+// closest to the handler. Both the SD-facing and RC-facing operations
+// share one endpoint; the paper runs them as two servers (MWS-SD,
+// MWS-Client), and cmd/mwsd can bind two listeners to the same Service to
+// mirror that.
+func (s *Service) buildRouter() *wire.Router {
+	r := wire.NewRouter()
+	r.Use(
+		wire.Instrument(s.stats),
+		wire.WithTimeout(s.cfg.RequestTimeout),
+		wire.Recover(s.cfg.Logger),
+	)
+	r.HandleFunc(wire.TPing, func(ctx context.Context, f wire.Frame) wire.Frame {
 		return wire.Frame{Type: wire.TPong}
-	case wire.TDeposit:
-		req, err := wire.UnmarshalDepositRequest(f.Payload)
-		if err != nil {
-			return wire.ErrorFrame(wire.CodeBadRequest, "bad deposit: %v", err)
-		}
-		seq, err := s.Deposit(req)
-		if err != nil {
-			return errorToFrame(err)
-		}
-		resp := wire.DepositResponse{Seq: seq}
-		return wire.Frame{Type: wire.TDepositResp, Payload: resp.Marshal()}
-	case wire.TRetrieve:
-		req, err := wire.UnmarshalRetrieveRequest(f.Payload)
-		if err != nil {
-			return wire.ErrorFrame(wire.CodeBadRequest, "bad retrieve: %v", err)
-		}
-		resp, err := s.Retrieve(req)
-		if err != nil {
-			return errorToFrame(err)
-		}
-		return wire.Frame{Type: wire.TRetrieveResp, Payload: resp.Marshal()}
-	default:
-		return wire.ErrorFrame(wire.CodeBadRequest, "unsupported frame type %s", f.Type)
-	}
+	})
+	wire.Route(r, wire.TDeposit, wire.TDepositResp, wire.UnmarshalDepositRequest,
+		func(ctx context.Context, req *wire.DepositRequest) (*wire.DepositResponse, error) {
+			seq, err := s.Deposit(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			return &wire.DepositResponse{Seq: seq}, nil
+		})
+	wire.Route(r, wire.TRetrieve, wire.TRetrieveResp, wire.UnmarshalRetrieveRequest, s.Retrieve)
+	wire.RegisterStats(r, s.stats)
+	return r
 }
 
-func errorToFrame(err error) wire.Frame {
-	if em, ok := err.(*wire.ErrorMsg); ok {
-		return wire.Frame{Type: wire.TError, Payload: em.Marshal()}
-	}
-	return wire.ErrorFrame(wire.CodeInternal, "internal error")
+// Router exposes the service's request pipeline (all routes registered,
+// middleware attached). Useful for serving and for introspection tests.
+func (s *Service) Router() *wire.Router { return s.router }
+
+// Handle dispatches one frame through the pipeline, making *Service a
+// wire.Handler.
+func (s *Service) Handle(ctx context.Context, f wire.Frame) wire.Frame {
+	return s.router.Handle(ctx, f)
 }
+
+// Metrics returns a point-in-time per-op snapshot (request and error
+// counts, latency distribution) keyed by request frame type name.
+func (s *Service) Metrics() map[string]metrics.OpSnapshot { return s.stats.Snapshot() }
 
 // ListenAndServe starts a wire server for this service on addr and
 // returns it along with the bound address.
-func (s *Service) ListenAndServe(addr string) (*wire.Server, net.Addr, error) {
-	srv := wire.NewServer(s, s.cfg.Logger)
+func (s *Service) ListenAndServe(addr string, opts ...wire.ServerOption) (*wire.Server, net.Addr, error) {
+	srv := wire.NewServer(s.router, s.cfg.Logger, opts...)
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		return nil, nil, err

@@ -36,6 +36,8 @@ const (
 	TPong         Type = 10
 	TTrapdoor     Type = 11
 	TTrapdoorResp Type = 12
+	TStats        Type = 13
+	TStatsResp    Type = 14
 )
 
 // String implements fmt.Stringer for log lines.
@@ -67,6 +69,10 @@ func (t Type) String() string {
 		return "Trapdoor"
 	case TTrapdoorResp:
 		return "TrapdoorResp"
+	case TStats:
+		return "Stats"
+	case TStatsResp:
+		return "StatsResp"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}

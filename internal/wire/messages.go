@@ -7,11 +7,13 @@ import (
 
 // Error codes carried by ErrorMsg.
 const (
-	CodeBadRequest uint32 = 1 // malformed or invalid request
-	CodeAuth       uint32 = 2 // authentication / authorization failure
-	CodeReplay     uint32 = 3 // replayed or stale message
-	CodeInternal   uint32 = 4 // server-side failure
-	CodeNotFound   uint32 = 5 // unknown entity
+	CodeBadRequest  uint32 = 1 // malformed or invalid request
+	CodeAuth        uint32 = 2 // authentication / authorization failure
+	CodeReplay      uint32 = 3 // replayed or stale message
+	CodeInternal    uint32 = 4 // server-side failure
+	CodeNotFound    uint32 = 5 // unknown entity
+	CodeTimeout     uint32 = 6 // request exceeded the server's deadline
+	CodeUnavailable uint32 = 7 // server overloaded or shutting down
 )
 
 // ErrorMsg is the universal failure response.
@@ -553,4 +555,74 @@ func UnmarshalTrapdoorResponse(b []byte) (*TrapdoorResponse, error) {
 		return nil, err
 	}
 	return &r, d.Done()
+}
+
+// OpStat is one operation's counters and latency summary as reported over
+// the wire (durations in nanoseconds, so the encoding is architecture- and
+// clock-independent).
+type OpStat struct {
+	Op       string
+	Requests uint64
+	Errors   uint64
+	MinNs    int64
+	MeanNs   int64
+	P50Ns    int64
+	P90Ns    int64
+	P99Ns    int64
+	MaxNs    int64
+}
+
+// StatsResponse answers a TStats introspection request with one OpStat per
+// instrumented operation, sorted by op name.
+type StatsResponse struct {
+	Ops []OpStat
+}
+
+// Marshal encodes the message.
+func (r *StatsResponse) Marshal() []byte {
+	var e Encoder
+	e.Uint32(uint32(len(r.Ops)))
+	for _, op := range r.Ops {
+		e.Str(op.Op)
+		e.Uint64(op.Requests)
+		e.Uint64(op.Errors)
+		e.Int64(op.MinNs)
+		e.Int64(op.MeanNs)
+		e.Int64(op.P50Ns)
+		e.Int64(op.P90Ns)
+		e.Int64(op.P99Ns)
+		e.Int64(op.MaxNs)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalStatsResponse decodes a StatsResponse payload.
+func UnmarshalStatsResponse(b []byte) (*StatsResponse, error) {
+	d := NewDecoder(b)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, errors.New("wire: implausible op count")
+	}
+	r := &StatsResponse{Ops: make([]OpStat, n)}
+	for i := range r.Ops {
+		op := &r.Ops[i]
+		if op.Op, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if op.Requests, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		if op.Errors, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*int64{&op.MinNs, &op.MeanNs, &op.P50Ns, &op.P90Ns, &op.P99Ns, &op.MaxNs} {
+			if *dst, err = d.Int64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, d.Done()
 }

@@ -12,17 +12,22 @@ import (
 	"time"
 )
 
-// Handler answers one request frame with one response frame. Returning an
-// error closes the connection after an ErrorMsg is sent.
+// Handler answers one request frame with one response frame. The context
+// carries the server's base context (canceled when the server closes),
+// the peer address (see Peer), and any deadline installed by middleware.
+// A Handler cannot fail the connection: every outcome, including an
+// internal error, is expressed as a response frame — use ErrorFrame or a
+// Router (whose typed routes map handler errors to TError frames). The
+// connection closes only on transport errors or peer/server shutdown.
 type Handler interface {
-	HandleFrame(f Frame) Frame
+	Handle(ctx context.Context, f Frame) Frame
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(f Frame) Frame
+type HandlerFunc func(ctx context.Context, f Frame) Frame
 
-// HandleFrame calls the wrapped function.
-func (fn HandlerFunc) HandleFrame(f Frame) Frame { return fn(f) }
+// Handle calls the wrapped function.
+func (fn HandlerFunc) Handle(ctx context.Context, f Frame) Frame { return fn(ctx, f) }
 
 // ErrorFrame builds a TError response.
 func ErrorFrame(code uint32, format string, args ...any) Frame {
@@ -30,11 +35,53 @@ func ErrorFrame(code uint32, format string, args ...any) Frame {
 	return Frame{Type: TError, Payload: msg.Marshal()}
 }
 
+// peerKey carries the remote address in the request context.
+type peerKey struct{}
+
+// Peer returns the remote address of the connection that produced the
+// request, or nil when the handler was invoked without a server (tests,
+// in-process dispatch).
+func Peer(ctx context.Context) net.Addr {
+	a, _ := ctx.Value(peerKey{}).(net.Addr)
+	return a
+}
+
+// ServerOption tunes a Server.
+type ServerOption func(*Server)
+
+// WithIdleTimeout bounds how long a connection may sit between frames (and
+// how slowly a peer may dribble one in): the read deadline is re-armed
+// before each frame read. Non-positive means no bound.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds writing one response frame. Non-positive means
+// no bound.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithMaxConns caps concurrently served connections. A connection over the
+// cap receives a CodeUnavailable error frame and is closed immediately,
+// so a flood degrades into fast rejections instead of unbounded
+// goroutines. Non-positive means no cap.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
+}
+
 // Server accepts connections and serves request/response frames; a
 // connection may carry many sequential requests.
 type Server struct {
 	handler Handler
 	logger  *slog.Logger
+
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	maxConns     int
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -44,11 +91,22 @@ type Server struct {
 }
 
 // NewServer builds a server around a handler. A nil logger discards logs.
-func NewServer(h Handler, logger *slog.Logger) *Server {
+func NewServer(h Handler, logger *slog.Logger, opts ...ServerOption) *Server {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	return &Server{handler: h, logger: logger, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		handler:    h,
+		logger:     logger,
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		conns:      make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Listen binds to addr ("127.0.0.1:0" for an ephemeral test port) and
@@ -85,6 +143,11 @@ func (s *Server) acceptLoop(l net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.rejectConn(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 
@@ -96,6 +159,18 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
+// rejectConn tells an over-cap peer why it is being dropped, bounded so a
+// stalled peer cannot wedge the accept loop.
+func (s *Server) rejectConn(conn net.Conn) {
+	s.logger.Warn("wire: connection limit reached", "peer", conn.RemoteAddr())
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	bw := bufio.NewWriter(conn)
+	if err := WriteFrame(bw, ErrorFrame(CodeUnavailable, "server at connection capacity")); err == nil {
+		bw.Flush()
+	}
+	conn.Close()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -103,26 +178,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	ctx := context.WithValue(s.baseCtx, peerKey{}, conn.RemoteAddr())
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		req, err := ReadFrame(br)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				s.logger.Debug("wire: read frame", "err", err)
+				s.logger.Debug("wire: read frame", "peer", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}
 		var resp Frame
 		func() {
+			// Transport-level backstop: services are expected to install
+			// the Recover middleware, but a bare Handler must not be able
+			// to take the connection loop down either.
 			defer func() {
 				if r := recover(); r != nil {
 					s.logger.Error("wire: handler panic", "type", req.Type, "panic", r)
 					resp = ErrorFrame(CodeInternal, "internal error")
 				}
 			}()
-			resp = s.handler.HandleFrame(req)
+			resp = s.handler.Handle(ctx, req)
 		}()
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := WriteFrame(bw, resp); err != nil {
 			return
 		}
@@ -142,7 +227,15 @@ func (s *Server) Addr() net.Addr {
 	return s.listener.Addr()
 }
 
-// Close stops accepting, closes every live connection, and waits for the
+// ConnCount reports the number of live connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops accepting, cancels the base context so in-flight handlers
+// observe shutdown, closes every live connection, and waits for the
 // serving goroutines to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -159,6 +252,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancelBase()
 	s.wg.Wait()
 	return err
 }

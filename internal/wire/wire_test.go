@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
@@ -299,7 +300,7 @@ func TestMessageAADBinding(t *testing.T) {
 // --- server/client integration ---
 
 func TestServerClientRoundTrip(t *testing.T) {
-	echo := HandlerFunc(func(f Frame) Frame {
+	echo := HandlerFunc(func(ctx context.Context, f Frame) Frame {
 		if f.Type == TPing {
 			return Frame{Type: TPong, Payload: f.Payload}
 		}
@@ -338,7 +339,7 @@ func TestServerClientRoundTrip(t *testing.T) {
 }
 
 func TestServerSurvivesHandlerPanic(t *testing.T) {
-	boom := HandlerFunc(func(f Frame) Frame { panic("handler bug") })
+	boom := HandlerFunc(func(ctx context.Context, f Frame) Frame { panic("handler bug") })
 	srv := NewServer(boom, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -367,7 +368,7 @@ func TestServerSurvivesHandlerPanic(t *testing.T) {
 }
 
 func TestServerCloseUnblocksClients(t *testing.T) {
-	srv := NewServer(HandlerFunc(func(f Frame) Frame { return Frame{Type: TPong} }), nil)
+	srv := NewServer(HandlerFunc(func(ctx context.Context, f Frame) Frame { return Frame{Type: TPong} }), nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -393,7 +394,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	srv := NewServer(HandlerFunc(func(f Frame) Frame {
+	srv := NewServer(HandlerFunc(func(ctx context.Context, f Frame) Frame {
 		return Frame{Type: TPong, Payload: f.Payload}
 	}), nil)
 	addr, err := srv.Listen("127.0.0.1:0")
