@@ -1,8 +1,8 @@
 package keyserver
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	"sync"

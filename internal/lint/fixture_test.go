@@ -1,0 +1,199 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mwskit/internal/lint"
+)
+
+// loadFixture loads fixture packages (patterns relative to this package's
+// directory) through the real go list + go/types pipeline.
+func loadFixture(t *testing.T, patterns ...string) *lint.Program {
+	t.Helper()
+	prog, err := lint.Load(".", patterns)
+	if err != nil {
+		t.Fatalf("Load(%v): %v", patterns, err)
+	}
+	return prog
+}
+
+// lineKey addresses one fixture source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectWants parses the `// want "re" "re"...` expectation comments out
+// of every loaded file (tests included — wireops reports into regular
+// files but fixtures may annotate anywhere).
+func collectWants(t *testing.T, prog *lint.Program) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	scan := func(f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := prog.Fset.Position(c.Slash)
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+				for rest != "" {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+					}
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %q: %v", pos, quoted, err)
+					}
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], regexp.MustCompile(pattern))
+					rest = strings.TrimSpace(rest[len(quoted):])
+				}
+			}
+		}
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			scan(f)
+		}
+		for _, f := range pkg.TestFiles {
+			scan(f)
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the full analyzer suite over the fixture packages and
+// diffs the diagnostics against the want comments: every diagnostic must
+// match a want on its exact line, and every want must be consumed.
+func checkFixture(t *testing.T, patterns ...string) {
+	t.Helper()
+	prog := loadFixture(t, patterns...)
+	wants := collectWants(t, prog)
+	diags := lint.RunProgram(prog, lint.DefaultAnalyzers())
+
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func TestCryptoCompareFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/bfibe")
+}
+
+func TestRandSourceFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/randsource")
+}
+
+func TestSecretLogFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/kdf")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/ctxflow")
+}
+
+func TestWireOpsFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/wireops/wire", "./testdata/src/wireops/mws")
+}
+
+// TestFixtureWantsAreExercised guards the harness itself: a fixture with
+// no want comments would vacuously pass, so assert each fixture carries
+// at least one expectation.
+func TestFixtureWantsAreExercised(t *testing.T) {
+	for _, patterns := range [][]string{
+		{"./testdata/src/bfibe"},
+		{"./testdata/src/randsource"},
+		{"./testdata/src/kdf"},
+		{"./testdata/src/ctxflow"},
+		{"./testdata/src/wireops/wire", "./testdata/src/wireops/mws"},
+	} {
+		prog := loadFixture(t, patterns...)
+		if len(collectWants(t, prog)) == 0 {
+			t.Errorf("fixture %v has no want comments", patterns)
+		}
+	}
+}
+
+// countByAnalyzer buckets diagnostics for the ignore-directive tests.
+func countByAnalyzer(diags []lint.Diagnostic) map[string]int {
+	out := make(map[string]int)
+	for _, d := range diags {
+		out[d.Analyzer]++
+	}
+	return out
+}
+
+func TestIgnoreSuppressesWithReason(t *testing.T) {
+	prog := loadFixture(t, "./testdata/src/ignoreok")
+	diags := lint.RunProgram(prog, lint.DefaultAnalyzers())
+	if len(diags) != 0 {
+		t.Fatalf("justified ignore should fully suppress; got %v", diags)
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	prog := loadFixture(t, "./testdata/src/ignorebad")
+	diags := lint.RunProgram(prog, lint.DefaultAnalyzers())
+
+	counts := countByAnalyzer(diags)
+	if counts["mwslint"] != 2 {
+		t.Errorf("want 2 directive-validation diagnostics, got %d: %v", counts["mwslint"], diags)
+	}
+	if counts["randsource"] != 1 {
+		t.Errorf("reason-less ignore must not suppress: want 1 randsource diagnostic, got %d: %v", counts["randsource"], diags)
+	}
+	var sawNoReason, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer != "mwslint" {
+			continue
+		}
+		if strings.Contains(d.Message, "has no reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(d.Message, "unknown analyzer") {
+			sawUnknown = true
+		}
+	}
+	if !sawNoReason || !sawUnknown {
+		t.Errorf("want both a missing-reason and an unknown-analyzer diagnostic, got %v", diags)
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering check.sh output
+// depends on.
+func TestDiagnosticString(t *testing.T) {
+	prog := loadFixture(t, "./testdata/src/randsource")
+	diags := lint.RunProgram(prog, lint.DefaultAnalyzers())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %v", diags)
+	}
+	s := diags[0].String()
+	want := fmt.Sprintf("%s: [randsource]", diags[0].Pos)
+	if !strings.HasPrefix(s, want) {
+		t.Errorf("Diagnostic.String() = %q, want prefix %q", s, want)
+	}
+}

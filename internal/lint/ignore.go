@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// directive is one parsed //mwslint:ignore annotation.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// directiveKey locates a directive for suppression lookup.
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "mwslint:ignore"
+
+// collectDirectives scans every type-checked file for //mwslint:ignore
+// annotations. Malformed directives — no analyzer, no reason, or an
+// analyzer name the suite doesn't know — are reported as diagnostics of
+// the pseudo-analyzer "mwslint" so a suppression can never silently rot.
+func collectDirectives(prog *Program, analyzers []*Analyzer) (map[directiveKey]directive, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	out := make(map[directiveKey]directive)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case name == "":
+						diags = append(diags, Diagnostic{
+							Analyzer: "mwslint", Pos: pos,
+							Message: "ignore directive names no analyzer; use //mwslint:ignore <analyzer> <reason>",
+						})
+					case !known[name]:
+						diags = append(diags, Diagnostic{
+							Analyzer: "mwslint", Pos: pos,
+							Message: "ignore directive names unknown analyzer " + strconv.Quote(name),
+						})
+					case reason == "":
+						diags = append(diags, Diagnostic{
+							Analyzer: "mwslint", Pos: pos,
+							Message: "ignore directive for " + name + " has no reason; suppressions must be justified",
+						})
+					default:
+						d := directive{file: pos.Filename, line: pos.Line, analyzer: name, reason: reason}
+						out[directiveKey{d.file, d.line, d.analyzer}] = d
+					}
+				}
+			}
+		}
+	}
+	return out, diags
+}
+
+// suppress drops diagnostics covered by a directive on the same line or
+// the line immediately above.
+func suppress(diags []Diagnostic, directives map[directiveKey]directive) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if _, ok := directives[directiveKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			continue
+		}
+		if _, ok := directives[directiveKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

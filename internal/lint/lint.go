@@ -1,0 +1,208 @@
+// Package lint implements mwslint, the project's static-analysis suite.
+// It enforces the confidentiality invariants the paper's design depends
+// on (PAPER.md §III–§V) but that the compiler cannot check: constant-time
+// comparison of authenticator tags, CSPRNG-only randomness, no secret
+// material in log output, context propagation through the request
+// pipeline, and wire-protocol/route/codec consistency across packages.
+//
+// The harness is pure stdlib: packages are parsed with go/parser and
+// type-checked with go/types against export data obtained from
+// `go list -export`, so it needs the go toolchain but no x/tools
+// dependency. Analyzers run per package; cross-package analyzers run
+// once over the whole loaded program.
+//
+// Findings can be suppressed with an annotation on the offending line or
+// the line above:
+//
+//	//mwslint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: an ignore without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string      // import path
+	Name      string      // package name
+	Dir       string      // source directory
+	Files     []*ast.File // non-test sources, type-checked
+	TestFiles []*ast.File // *_test.go sources, parsed but not type-checked
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Program is the set of target packages sharing one token.FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Analyzer is one named check. Exactly one of Run (per package) or
+// RunProgram (once, cross-package) is set.
+type Analyzer struct {
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
+}
+
+// Pass hands one package to one per-package analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramPass hands the whole program to a cross-package analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultAnalyzers returns the full mwslint suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		CryptoCompare,
+		RandSource,
+		SecretLog,
+		CtxFlow,
+		WireOps,
+	}
+}
+
+// Run loads the packages matching patterns (relative to dir) and runs the
+// analyzers over them, returning the surviving diagnostics sorted by
+// position. See RunProgram for the suppression semantics.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, analyzers), nil
+}
+
+// RunProgram runs the analyzers over an already-loaded program. Findings
+// annotated with a valid //mwslint:ignore directive are dropped; invalid
+// directives (missing reason, unknown analyzer) surface as diagnostics of
+// the pseudo-analyzer "mwslint".
+func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, report: report})
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, report: report})
+	}
+
+	directives, directiveDiags := collectDirectives(prog, analyzers)
+	diags = append(suppress(diags, directives), directiveDiags...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// pathEndsIn reports whether an import path's final segment is one of
+// names. Analyzers use it to scope themselves to the packages whose
+// invariants they guard, so fixture packages under testdata/ with the
+// same terminal name exercise the same code path.
+func pathEndsIn(path string, names ...string) bool {
+	seg := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			seg = path[i+1:]
+			break
+		}
+	}
+	for _, n := range names {
+		if seg == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgNameOf resolves an identifier to the *types.PkgName it denotes, or
+// nil if it is not a package qualifier.
+func pkgNameOf(info *types.Info, id *ast.Ident) *types.PkgName {
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// calleeFromPkg reports whether call invokes a function from the package
+// with the given import path, returning its name ("" when not).
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn := pkgNameOf(info, id)
+	if pn == nil || pn.Imported().Path() != pkgPath {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// RandSource bans math/rand outside tests. Every random value in the MWS
+// protocol is security-relevant — IBE master keys, per-message r, nonces,
+// session keys (PAPER.md §IV–§V) — and math/rand is a seedable,
+// predictable PRNG: one leaked output lets an attacker wind the stream
+// forward and back. crypto/rand is the only acceptable source in
+// non-test code; deliberate uses (deterministic simulation) must carry an
+// //mwslint:ignore randsource annotation explaining why predictability is
+// safe there.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc:  "flags math/rand imports in non-test code; randomness must come from crypto/rand",
+	Run:  runRandSource,
+}
+
+func runRandSource(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"%s is not a CSPRNG; use crypto/rand (annotate deliberate non-crypto uses with //mwslint:ignore randsource <reason>)", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SecretLog flags identifiers that look like key material flowing into
+// fmt/log/slog sinks in the packages that hold secrets. The paper's whole
+// trust argument (PAPER.md §III) is that the MWS operator never sees
+// plaintext or keys; a %x of a master key in a server log voids that
+// against anyone who can read the logs — a far weaker adversary than the
+// design defends against. Detection is name-based over direct arguments,
+// so wrapping a secret before logging it will evade the check; the
+// analyzer is a tripwire, not a proof.
+var SecretLog = &Analyzer{
+	Name: "secretlog",
+	Doc: "flags identifiers matching secret/key naming patterns passed directly to fmt, log, or slog " +
+		"sinks in secret-bearing packages",
+	Run: runSecretLog,
+}
+
+// secretLogPkgs are the terminal package names SecretLog guards: the IBE
+// core, the PKG, both services, and every keyed-crypto helper.
+var secretLogPkgs = []string{
+	"bfibe", "keyserver", "kdf", "ticket", "mws", "macauth", "userdb", "symenc", "peks", "tpkg",
+}
+
+// fmtSinks, logSinks, slogSinks name the formatting functions treated as
+// log output. fmt.Errorf is included: error strings routinely end up in
+// logs and wire error frames.
+var (
+	fmtSinks = map[string]bool{
+		"Print": true, "Printf": true, "Println": true,
+		"Sprint": true, "Sprintf": true, "Sprintln": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Errorf": true,
+	}
+	logSinks = map[string]bool{
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	}
+	slogSinks = map[string]bool{
+		"Debug": true, "Info": true, "Warn": true, "Error": true, "Log": true,
+		"DebugContext": true, "InfoContext": true, "WarnContext": true, "ErrorContext": true,
+	}
+)
+
+// secretName reports whether an identifier's name marks it as likely key
+// material.
+func secretName(name string) bool {
+	l := strings.ToLower(name)
+	// Metadata about a secret (its length, size, count) is not the secret.
+	for _, suffix := range []string{"len", "size", "count", "bits", "bytes"} {
+		if strings.HasSuffix(l, suffix) {
+			return false
+		}
+	}
+	switch l {
+	case "key", "keys", "sk", "priv", "secret":
+		return true
+	}
+	for _, sub := range []string{
+		"secret", "master", "privkey", "privatekey", "password", "passphrase",
+		"sessionkey", "mackey", "sharedkey", "credkey", "symkey", "seckey", "hmackey",
+	} {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSecretLog(pass *Pass) {
+	if !pathEndsIn(pass.Pkg.Path, secretLogPkgs...) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isLogSink(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				name, pos := argIdentName(arg)
+				if name != "" && secretName(name) {
+					pass.Reportf(pos,
+						"%s looks like key material flowing into a log/format sink; log a length or fingerprint instead, never the secret", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isLogSink reports whether call is a fmt/log/slog output call or a
+// method on a slog.Logger.
+func isLogSink(info *types.Info, call *ast.CallExpr) bool {
+	if name := calleeFromPkg(info, call, "fmt"); fmtSinks[name] {
+		return true
+	}
+	if name := calleeFromPkg(info, call, "log"); logSinks[name] {
+		return true
+	}
+	if name := calleeFromPkg(info, call, "log/slog"); slogSinks[name] {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !slogSinks[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return strings.Contains(tv.Type.String(), "log/slog.Logger")
+}
+
+// argIdentName extracts the trailing identifier name of a direct ident or
+// selector argument ("key", "s.masterKey"); other shapes — len(key),
+// fingerprints, literals — return "".
+func argIdentName(arg ast.Expr) (string, token.Pos) {
+	switch e := arg.(type) {
+	case *ast.Ident:
+		return e.Name, e.Pos()
+	case *ast.SelectorExpr:
+		return e.Sel.Name, e.Pos()
+	}
+	return "", token.NoPos
+}

@@ -1,0 +1,31 @@
+// Package bfibe is a mwslint fixture: its terminal path segment puts it
+// in cryptocompare's scope. Lines carry // want comments consumed by the
+// fixture test harness.
+package bfibe
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+	"reflect"
+)
+
+// VerifyBad compares a MAC tag with a short-circuiting comparison.
+func VerifyBad(tag, want []byte) bool {
+	return bytes.Equal(tag, want) // want "bytes.Equal is not constant-time"
+}
+
+// VerifyWorse compares via reflection.
+func VerifyWorse(tag, want [][]byte) bool {
+	return reflect.DeepEqual(tag, want) // want "reflect.DeepEqual is not constant-time"
+}
+
+// VerifyGood compares in constant time.
+func VerifyGood(tag, want []byte) bool {
+	return hmac.Equal(tag, want)
+}
+
+// VerifyAlsoGood compares in constant time via crypto/subtle.
+func VerifyAlsoGood(tag, want []byte) bool {
+	return len(tag) == len(want) && subtle.ConstantTimeCompare(tag, want) == 1
+}

@@ -1,0 +1,22 @@
+// Package ctxflow is a mwslint fixture for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// Severed takes a ctx but forks a fresh root: flagged with the
+// stronger "propagate" message.
+func Severed(ctx context.Context) error {
+	return do(context.Background()) // want "receives a context.Context but calls context.Background"
+}
+
+// Proper threads its caller's context: clean.
+func Proper(ctx context.Context) error {
+	return do(ctx)
+}
+
+// Root creates a context root in library code: flagged.
+func Root() context.Context {
+	return context.TODO() // want "context.TODO creates a context root in library code"
+}
+
+func do(ctx context.Context) error { return ctx.Err() }

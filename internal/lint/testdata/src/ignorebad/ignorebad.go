@@ -1,0 +1,14 @@
+// Package ignorebad is a mwslint fixture: malformed ignore directives are
+// themselves diagnostics (pseudo-analyzer "mwslint"), and a reason-less
+// directive does not suppress the finding it sits on. Expectations are
+// asserted programmatically (TestIgnoreDirectives), not via want
+// comments, because the offending lines are themselves comments.
+package ignorebad
+
+//mwslint:ignore randsource
+import "math/rand"
+
+//mwslint:ignore nosuchanalyzer because I said so
+
+// Weak uses the unsuppressed import.
+func Weak() int { return rand.Int() }

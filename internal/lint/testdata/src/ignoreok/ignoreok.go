@@ -1,0 +1,10 @@
+// Package ignoreok is a mwslint fixture: a justified ignore directive
+// fully suppresses the finding, so this package must produce no
+// diagnostics at all.
+package ignoreok
+
+//mwslint:ignore randsource deterministic jitter for the fixture; nothing secret
+import "math/rand"
+
+// Jitter uses the annotated import.
+func Jitter() int { return rand.Int() }

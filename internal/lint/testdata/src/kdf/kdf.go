@@ -1,0 +1,22 @@
+// Package kdf is a mwslint fixture: its terminal path segment puts it in
+// secretlog's scope.
+package kdf
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+type session struct {
+	masterSecret []byte
+}
+
+// Debug exercises the secretlog sinks.
+func Debug(masterKey []byte, label string, logger *slog.Logger, s session) error {
+	fmt.Printf("derived %d bytes for %s\n", len(masterKey), label) // clean: len() only
+	fmt.Printf("master key = %x\n", masterKey)                     // want "masterKey looks like key material"
+	slog.Info("kdf", "key", masterKey)                             // want "masterKey looks like key material"
+	logger.Warn("session", "ms", s.masterSecret)                   // want "masterSecret looks like key material"
+	slog.Info("kdf done", "label", label)                          // clean: not a secret name
+	return fmt.Errorf("kdf %q: short output", label)               // clean: no secret args
+}

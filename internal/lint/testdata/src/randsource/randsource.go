@@ -1,0 +1,19 @@
+// Package randsource is a mwslint fixture for the randsource analyzer.
+package randsource
+
+import (
+	"crypto/rand"
+	mrand "math/rand" // want "math/rand is not a CSPRNG"
+)
+
+// Nonce draws from the CSPRNG: clean.
+func Nonce() ([]byte, error) {
+	b := make([]byte, 16)
+	_, err := rand.Read(b)
+	return b, err
+}
+
+// Weak draws from the seedable PRNG: flagged at the import.
+func Weak() int {
+	return mrand.Int()
+}

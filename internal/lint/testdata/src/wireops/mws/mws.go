@@ -1,0 +1,11 @@
+// Package mws is a mwslint fixture service: it registers a route for the
+// fixture wire package's TPing across a package boundary, exercising
+// wireops' export-data constant resolution.
+package mws
+
+import "mwskit/internal/lint/testdata/src/wireops/wire"
+
+// Register installs the ping route.
+func Register(r wire.Router) {
+	r.HandleFunc(wire.TPing, func(b []byte) []byte { return b })
+}

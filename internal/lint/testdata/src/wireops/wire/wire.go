@@ -1,0 +1,46 @@
+// Package wire is a mwslint fixture mirroring the real protocol
+// package's shape: a Type constant block (requests odd, responses even),
+// codec functions, and a registration helper.
+package wire
+
+import "errors"
+
+// Type tags a fixture frame.
+type Type uint8
+
+// Fixture frame types.
+const (
+	TError Type = 0
+	TPing  Type = 1
+	TPong  Type = 2
+	// TOrphan has a response constant but no registered route and no
+	// codec test.
+	TOrphan     Type = 3 // want "request op TOrphan has no registered route"
+	TOrphanResp Type = 4
+	// TLonely breaks the odd/even pairing and is unrouted.
+	TLonely Type = 5 // want "request op TLonely .* has no response op constant with value 6" "request op TLonely has no registered route"
+)
+
+// Router is a minimal registration surface.
+type Router struct{}
+
+// HandleFunc registers a handler for one frame type.
+func (Router) HandleFunc(t Type, f func([]byte) []byte) {}
+
+// UnmarshalPing decodes a ping payload; it is referenced from the
+// package's tests, so it is clean.
+func UnmarshalPing(b []byte) (byte, error) {
+	if len(b) != 1 {
+		return 0, errors.New("wire: bad ping")
+	}
+	return b[0], nil
+}
+
+// UnmarshalOrphan decodes an orphan payload; nothing in the tests
+// references it.
+func UnmarshalOrphan(b []byte) (byte, error) { // want "codec UnmarshalOrphan has no round-trip test"
+	if len(b) != 1 {
+		return 0, errors.New("wire: bad orphan")
+	}
+	return b[0], nil
+}

@@ -1,0 +1,15 @@
+package wire
+
+import "testing"
+
+// TestPingCodec round-trips the ping codec, marking TPing and
+// UnmarshalPing as covered.
+func TestPingCodec(t *testing.T) {
+	v, err := UnmarshalPing([]byte{7})
+	if err != nil || v != 7 {
+		t.Fatalf("UnmarshalPing: %v %v", v, err)
+	}
+	if TPing != 1 || TPong != 2 {
+		t.Fatal("fixture constants moved")
+	}
+}

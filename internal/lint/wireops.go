@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireOps checks cross-package protocol consistency: the wire package's
+// frame-type constants follow the requests-are-odd/responses-are-even
+// convention (wire/frame.go), every request op has a registered route
+// somewhere in the program (a wire.Route or HandleFunc call in mws,
+// keyserver, or wire itself), and every codec decoder has test coverage
+// in the wire package. An op constant with no route is a frame type every
+// server answers with CodeBadRequest; a decoder with no test is a parser
+// any network peer can drive with attacker-controlled bytes — both are
+// exactly the drift this analyzer pins down.
+var WireOps = &Analyzer{
+	Name: "wireops",
+	Doc: "checks wire op constants for response pairing and registered routes, and wire codecs " +
+		"for round-trip test coverage",
+	RunProgram: runWireOps,
+}
+
+func runWireOps(pass *ProgramPass) {
+	wirePkg := findWirePkg(pass.Prog)
+	if wirePkg == nil {
+		return
+	}
+	consts := wireTypeConsts(wirePkg)
+	if len(consts) == 0 {
+		return
+	}
+
+	byValue := make(map[int64]bool, len(consts))
+	for _, c := range consts {
+		byValue[c.value] = true
+	}
+	routed := routedConsts(pass.Prog, wirePkg.Path)
+	testIdents := identsInTests(wirePkg)
+
+	for _, c := range consts {
+		if c.value == 0 || c.value%2 == 0 {
+			continue // TError and response ops
+		}
+		if !byValue[c.value+1] {
+			pass.Reportf(c.pos,
+				"request op %s (=%d) has no response op constant with value %d; requests are odd, responses even",
+				c.name, c.value, c.value+1)
+		}
+		if !routed[c.name] {
+			pass.Reportf(c.pos,
+				"request op %s has no registered route: no wire.Route/HandleFunc call passes it in any loaded package",
+				c.name)
+		}
+	}
+
+	for _, f := range wirePkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !strings.HasPrefix(fn.Name.Name, "Unmarshal") || !fn.Name.IsExported() {
+				continue
+			}
+			if !testIdents[fn.Name.Name] {
+				pass.Reportf(fn.Pos(),
+					"codec %s has no round-trip test: nothing in the wire package's tests references it",
+					fn.Name.Name)
+			}
+		}
+	}
+}
+
+// findWirePkg locates the protocol package: final path segment "wire"
+// defining a Type constant kind.
+func findWirePkg(prog *Program) *Package {
+	for _, pkg := range prog.Packages {
+		if !pathEndsIn(pkg.Path, "wire") || pkg.Types == nil {
+			continue
+		}
+		if _, ok := pkg.Types.Scope().Lookup("Type").(*types.TypeName); ok {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// wireConst is one frame-type constant declared in the wire package.
+type wireConst struct {
+	name  string
+	value int64
+	pos   token.Pos
+}
+
+// wireTypeConsts collects the constants of the wire package's Type type.
+func wireTypeConsts(pkg *Package) []wireConst {
+	var out []wireConst
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Type" || named.Obj().Pkg() != pkg.Types {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			continue
+		}
+		out = append(out, wireConst{name: c.Name(), value: v, pos: c.Pos()})
+	}
+	return out
+}
+
+// routedConsts scans every loaded package for Route/HandleFunc calls and
+// returns the names of wire Type constants passed to them. Matching is by
+// (package path, name) because a service package sees the wire package
+// through export data, not the source-checked types.Package.
+func routedConsts(prog *Program, wirePath string) map[string]bool {
+	routed := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRegistrationCall(call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					var id *ast.Ident
+					switch e := arg.(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					default:
+						continue
+					}
+					c, ok := info.Uses[id].(*types.Const)
+					if ok && c.Pkg() != nil && c.Pkg().Path() == wirePath {
+						routed[c.Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return routed
+}
+
+// isRegistrationCall reports whether call's callee is named Route or
+// HandleFunc (wire.Route, r.HandleFunc, ...).
+func isRegistrationCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.IndexExpr: // explicit instantiation: wire.Route[Req, Resp](...)
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	}
+	return name == "Route" || name == "HandleFunc"
+}
+
+// identsInTests returns every identifier mentioned in the package's test
+// files (parsed, not type-checked — external _test packages included).
+func identsInTests(pkg *Package) map[string]bool {
+	idents := make(map[string]bool)
+	for _, f := range pkg.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	return idents
+}

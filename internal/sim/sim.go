@@ -11,6 +11,8 @@ package sim
 
 import (
 	"fmt"
+
+	//mwslint:ignore randsource deterministic workload generation only; no key material or nonces come from this stream
 	"math/rand"
 
 	"mwskit/internal/attr"

@@ -95,6 +95,7 @@ func NewServer(h Handler, logger *slog.Logger, opts ...ServerOption) *Server {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	//mwslint:ignore ctxflow the server base context is the root of every request context; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		handler:    h,
@@ -266,8 +267,10 @@ type Client struct {
 	bw   *bufio.Writer
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server. Callers that own a context (anything on
+// a request path) should use DialContext so cancellation reaches the dial.
 func Dial(addr string) (*Client, error) {
+	//mwslint:ignore ctxflow context-free convenience shim for tools and tests; request paths use DialContext
 	return DialContext(context.Background(), addr)
 }
 

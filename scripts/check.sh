@@ -4,6 +4,19 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting: the tree must be gofmt-clean.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
+
+# mwslint: the project's confidentiality-invariant analyzers (see
+# DESIGN.md "Static analysis"). Any unsuppressed finding fails the build.
+go run ./cmd/mwslint ./...
+
 go test -race ./...
