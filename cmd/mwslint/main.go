@@ -1,20 +1,27 @@
 // Command mwslint runs the project's static-analysis suite: the coding
 // invariants behind the paper's confidentiality argument (constant-time
 // tag comparison, CSPRNG-only randomness, no secrets in logs, context
-// propagation, wire op/route/codec consistency), enforced at build time.
+// propagation, wire op/route/codec consistency, and the interprocedural
+// taint invariants — plaintext/private keys never reach storage or the
+// wire, no constant or reused nonces, key material wiped on error
+// paths), enforced at build time.
 //
 // Usage:
 //
-//	mwslint [-C dir] [packages]
+//	mwslint [-C dir] [-json] [packages]
 //
 // Packages default to ./... relative to dir. Exit status is 1 when any
 // analyzer reports an unsuppressed diagnostic, 2 when loading fails.
-// Suppress a finding with an annotated, justified ignore:
+// With -json each diagnostic is emitted as one JSON object per line
+// (file/line/col/analyzer/message) for CI annotation tooling; exit
+// codes are unchanged. Suppress a finding with an annotated, justified
+// ignore:
 //
 //	//mwslint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +33,20 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiagnostic is the -json wire shape, one object per line.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("mwslint", flag.ContinueOnError)
 	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of plain text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -49,7 +66,19 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "mwslint:", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			// Encode cannot fail on this shape; one object per line.
+			enc.Encode(jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

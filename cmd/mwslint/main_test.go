@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeededCrossPackageViolation seeds a module where plaintext
+// decrypted in one package is persisted by another two calls away, and
+// asserts the binary exits 1 in both output modes, with -json emitting
+// one parseable object per line.
+func TestSeededCrossPackageViolation(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(tmp, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchtaint\n\ngo 1.24\n")
+	write("symenc/symenc.go", `// Package symenc mimics the symmetric layer's shape.
+package symenc
+
+// Open decrypts blob.
+func Open(key, ciphertext, aad []byte) ([]byte, error) { return ciphertext, nil }
+`)
+	write("store/store.go", `// Package store mimics the storage layer's shape.
+package store
+
+// Put persists one record.
+func Put(rec []byte) error { _ = rec; return nil }
+`)
+	write("mws/mws.go", `// Package mws seeds the cross-package violation: Open output reaches
+// a store write through two intermediate calls.
+package mws
+
+import (
+	"scratchtaint/store"
+	"scratchtaint/symenc"
+)
+
+func decrypt(key, blob []byte) []byte {
+	pt, _ := symenc.Open(key, blob, nil)
+	return pt
+}
+
+// Handle is deliberately broken: it persists what decrypt returned.
+func Handle(key, blob []byte) error {
+	return persist(decrypt(key, blob))
+}
+
+func persist(rec []byte) error {
+	return store.Put(rec)
+}
+`)
+
+	runLint := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run", "./cmd/mwslint", "-C", tmp}, args...)...)
+		cmd.Dir = "../.."
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running mwslint: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := runLint("./...")
+	if code != 1 {
+		t.Fatalf("mwslint exit code = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "plainflow") {
+		t.Fatalf("mwslint output does not name plainflow:\n%s", out)
+	}
+
+	out, code = runLint("-json", "./...")
+	if code != 1 {
+		t.Fatalf("mwslint -json exit code = %d, want 1; output:\n%s", code, out)
+	}
+	sawPlainflow := false
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // the trailing "mwslint: N finding(s)" stderr line
+		}
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("non-JSON diagnostic line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Fatalf("incomplete JSON diagnostic: %q", line)
+		}
+		if d.Analyzer == "plainflow" {
+			sawPlainflow = true
+		}
+	}
+	if !sawPlainflow {
+		t.Fatalf("-json output has no plainflow diagnostic:\n%s", out)
+	}
+}
+
+// TestListNamesEveryAnalyzer keeps -list in sync with the suite.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	cmd := exec.Command("go", "run", "./cmd/mwslint", "-list")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mwslint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"cryptocompare", "randsource", "secretlog", "ctxflow", "wireops",
+		"plainflow", "noncereuse", "keyzero",
+	} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}

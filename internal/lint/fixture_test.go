@@ -120,6 +120,30 @@ func TestWireOpsFixture(t *testing.T) {
 	checkFixture(t, "./testdata/src/wireops/wire", "./testdata/src/wireops/mws")
 }
 
+func TestPlainFlowFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/plainflow/symenc",
+		"./testdata/src/plainflow/store",
+		"./testdata/src/plainflow/wire",
+		"./testdata/src/plainflow/mws",
+	)
+}
+
+func TestNonceReuseFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/noncereuse/symenc",
+		"./testdata/src/noncereuse/enc",
+	)
+}
+
+func TestKeyZeroFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/keyzero/kdf",
+		"./testdata/src/keyzero/symenc",
+		"./testdata/src/keyzero/ticket",
+	)
+}
+
 // TestFixtureWantsAreExercised guards the harness itself: a fixture with
 // no want comments would vacuously pass, so assert each fixture carries
 // at least one expectation.
@@ -130,6 +154,9 @@ func TestFixtureWantsAreExercised(t *testing.T) {
 		{"./testdata/src/kdf"},
 		{"./testdata/src/ctxflow"},
 		{"./testdata/src/wireops/wire", "./testdata/src/wireops/mws"},
+		{"./testdata/src/plainflow/symenc", "./testdata/src/plainflow/store", "./testdata/src/plainflow/wire", "./testdata/src/plainflow/mws"},
+		{"./testdata/src/noncereuse/symenc", "./testdata/src/noncereuse/enc"},
+		{"./testdata/src/keyzero/kdf", "./testdata/src/keyzero/symenc", "./testdata/src/keyzero/ticket"},
 	} {
 		prog := loadFixture(t, patterns...)
 		if len(collectWants(t, prog)) == 0 {

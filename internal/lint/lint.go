@@ -106,6 +106,9 @@ func DefaultAnalyzers() []*Analyzer {
 		SecretLog,
 		CtxFlow,
 		WireOps,
+		PlainFlow,
+		NonceReuse,
+		KeyZero,
 	}
 }
 

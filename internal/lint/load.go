@@ -129,6 +129,9 @@ func loadPackage(fset *token.FileSet, imp types.Importer, t listedPackage) (*Pac
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		// Implicits carries type-switch case objects; the taint engine
+		// needs them to track the switched value into each clause.
+		Implicits: make(map[ast.Node]types.Object),
 	}
 	var typeErrs []error
 	conf := types.Config{

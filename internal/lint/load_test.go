@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mwskit/internal/lint"
+)
+
+// TestLoadNoPackagesMatch: a valid module in which the pattern matches
+// nothing is a load error, not an empty (vacuously clean) program.
+func TestLoadNoPackagesMatch(t *testing.T) {
+	tmp := t.TempDir()
+	writeFile(t, filepath.Join(tmp, "go.mod"), "module scratchempty\n\ngo 1.24\n")
+
+	_, err := lint.Load(tmp, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a module with no packages")
+	}
+	if !strings.Contains(err.Error(), "no packages match") {
+		t.Errorf("error = %q, want it to mention the unmatched patterns", err)
+	}
+}
+
+// TestLoadNonModuleDir: outside any module, go list itself fails and the
+// loader surfaces that rather than panicking or returning nothing.
+func TestLoadNonModuleDir(t *testing.T) {
+	tmp := t.TempDir() // no go.mod
+
+	_, err := lint.Load(tmp, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded outside a module")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error = %q, want it to name the failing go list step", err)
+	}
+}
+
+// TestLoadTypeError: the tree must compile — a type error is a load
+// error naming the broken code, not a diagnostic. (The export-data
+// pre-pass compiles dependencies, so the error surfaces from go list
+// rather than the in-process checker; either way Load must fail and
+// carry the compiler's message.)
+func TestLoadTypeError(t *testing.T) {
+	tmp := t.TempDir()
+	writeFile(t, filepath.Join(tmp, "go.mod"), "module scratchbroken\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(tmp, "broken.go"), `package broken
+
+func Mismatched() int { return "not an int" }
+`)
+
+	_, err := lint.Load(tmp, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a type error")
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error = %q, want it to carry the compiler's file position", err)
+	}
+}
+
+// TestLoadSyntaxError: unparseable source fails the load (go list
+// rejects the package before the parser even sees it).
+func TestLoadSyntaxError(t *testing.T) {
+	tmp := t.TempDir()
+	writeFile(t, filepath.Join(tmp, "go.mod"), "module scratchsyntax\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(tmp, "bad.go"), "package bad\n\nfunc Unclosed( {\n")
+
+	_, err := lint.Load(tmp, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded on unparseable source")
+	}
+}
+
+// TestLoadMissingImport: an import that resolves to no package (broken
+// export data from the loader's point of view) is a load error.
+func TestLoadMissingImport(t *testing.T) {
+	tmp := t.TempDir()
+	writeFile(t, filepath.Join(tmp, "go.mod"), "module scratchmissing\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(tmp, "missing.go"), `package missing
+
+import "scratchmissing/nosuchpkg"
+
+var _ = nosuchpkg.Thing
+`)
+
+	_, err := lint.Load(tmp, []string{"./..."})
+	if err == nil {
+		t.Fatal("Load succeeded with an unresolvable import")
+	}
+}

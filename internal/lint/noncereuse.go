@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NonceReuse guards the "fresh randomness per seal" discipline the
+// symmetric layer depends on (PAPER.md §IV): a repeated GCM nonce
+// forfeits both confidentiality and integrity, and a repeated CBC IV
+// leaks message equality. The analyzer flags nonce/IV arguments that
+// are compile-time constants (tracked through the taint engine, so a
+// constant laundered through helpers and variables is still caught) and
+// nonce/IV arguments that are invariant across loop iterations.
+var NonceReuse = &Analyzer{
+	Name: "noncereuse",
+	Doc: "flags constant or loop-invariant nonce/IV arguments flowing into symenc or " +
+		"crypto/cipher calls; every seal needs fresh randomness",
+	RunProgram: runNonceReuse,
+}
+
+// nonceConstant is the single noncereuse source label.
+const nonceConstant = 0
+
+func runNonceReuse(pass *ProgramPass) {
+	runTaint(pass, &taintSpec{
+		name:       "noncereuse",
+		labelDesc:  []string{"a compile-time constant"},
+		sourceExpr: nonceSourceExpr,
+		sinkCall:   nonceSinkCall,
+	})
+	for _, pkg := range pass.Prog.Packages {
+		reportLoopInvariantNonces(pass, pkg)
+	}
+}
+
+// nonceSourceExpr labels expressions whose value is fixed at compile
+// time: constants (go/types records a Value for them) and composite
+// byte-slice/array literals with all-constant elements.
+func nonceSourceExpr(info *types.Info, e ast.Expr) labels {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return srcLabel(nonceConstant)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || len(lit.Elts) == 0 {
+		return 0
+	}
+	for _, el := range lit.Elts {
+		tv, ok := info.Types[el]
+		if !ok || tv.Value == nil {
+			return 0
+		}
+	}
+	return srcLabel(nonceConstant)
+}
+
+// nonceParamIndexes returns the signature parameter positions of callee
+// that receive a nonce or IV, identified by parameter name within the
+// symmetric-crypto packages.
+func nonceParamIndexes(callee *types.Func) []int {
+	if !calleePkgEndsIn(callee, "symenc") && calleePkgPath(callee) != "crypto/cipher" {
+		return nil
+	}
+	sig := calleeSig(callee)
+	if sig == nil {
+		return nil
+	}
+	var idx []int
+	for i := range sig.Params().Len() {
+		switch strings.ToLower(sig.Params().At(i).Name()) {
+		case "nonce", "iv":
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func nonceSinkCall(_ *sinkCtx, callee *types.Func) []sinkArg {
+	var sinks []sinkArg
+	for _, i := range nonceParamIndexes(callee) {
+		sinks = append(sinks, sinkArg{param: i, mask: srcLabel(nonceConstant),
+			message: "nonce/IV argument is %s; draw a fresh nonce from crypto/rand for every seal"})
+	}
+	return sinks
+}
+
+// reportLoopInvariantNonces is a purely syntactic companion pass: a
+// nonce argument inside a for/range body whose variable is declared
+// outside the loop and never refreshed inside it is the same bytes
+// every iteration — constant-ness is irrelevant, reuse is the bug.
+func reportLoopInvariantNonces(pass *ProgramPass, pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(info, call)
+				if callee == nil {
+					return true
+				}
+				for _, i := range nonceParamIndexes(callee) {
+					if i >= len(call.Args) {
+						continue
+					}
+					obj := nonceArgObject(info, call.Args[i])
+					if obj == nil {
+						continue
+					}
+					if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+						continue // declared inside the loop: fresh each iteration
+					}
+					if nonceRefreshedIn(info, body, obj, call, i) {
+						continue
+					}
+					pass.Reportf(call.Args[i].Pos(),
+						"nonce/IV argument %s is reused across loop iterations; derive or draw a fresh nonce inside the loop",
+						obj.Name())
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// nonceArgObject resolves a nonce argument to the variable it reads
+// (unwrapping slicing), or nil for call results and literals.
+func nonceArgObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// nonceRefreshedIn reports whether obj plausibly gets new contents on
+// each iteration of body: it is assigned, incremented, aliased by &, or
+// passed to some call other than the sink argument under inspection
+// (e.g. rand.Read(nonce), counter increments via binary.PutUint64).
+func nonceRefreshedIn(info *types.Info, body *ast.BlockStmt, obj types.Object, sink *ast.CallExpr, sinkArgIdx int) bool {
+	refreshed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if refreshed {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if nonceArgObject(info, lhs) == obj {
+					refreshed = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if nonceArgObject(info, v.X) == obj {
+				refreshed = true
+			}
+		case *ast.UnaryExpr:
+			if v.Op.String() == "&" && nonceArgObject(info, v.X) == obj {
+				refreshed = true
+			}
+		case *ast.CallExpr:
+			// Being handed to yet another call as a nonce is a use, not a
+			// refresh; any other argument position may fill the buffer
+			// (rand.Read(nonce), binary.PutUint64(nonce, ctr), ...).
+			nonceIdx := make(map[int]bool)
+			if v == sink {
+				nonceIdx[sinkArgIdx] = true
+			}
+			for _, i := range nonceParamIndexes(staticCallee(info, v)) {
+				nonceIdx[i] = true
+			}
+			for i, a := range v.Args {
+				if nonceIdx[i] {
+					continue
+				}
+				if nonceArgObject(info, a) == obj {
+					refreshed = true
+				}
+			}
+		}
+		return true
+	})
+	return refreshed
+}
+
+// calleePkgPath returns the callee's package import path, or "".
+func calleePkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,1062 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural dataflow substrate of mwslint: a
+// def-use/taint engine over the already-type-checked ASTs. Analyzers
+// (plainflow, noncereuse, keyzero) describe their sources, sinks, and
+// sanitizers in a taintSpec; the engine computes per-function transfer
+// summaries, builds a static call graph over the loaded program, and
+// iterates both to a fixpoint, so taint introduced in one package is
+// observed at a sink two or more calls away in another.
+//
+// The lattice is a bitset. The low sourceLabelBits bits are the spec's
+// source labels ("decrypted plaintext", "key material", ...); the
+// remaining bits track, symbolically, "flows from parameter j of the
+// function under analysis". A function's summary is the label set of
+// each result with every parameter seeded by its own parameter bit, so
+// a caller can translate parameter bits into the taint of its concrete
+// arguments. Concrete incoming taint per parameter (paramIn) is the
+// other half of the fixpoint: every call site with a tainted argument
+// widens the callee's paramIn until the program stabilizes.
+//
+// The intraprocedural transfer is deliberately object-granular and
+// flow-insensitive: taint sticks to the *types.Var it touches (a field
+// write taints the whole struct, a slice of a tainted slice stays
+// tainted) and is never killed by reassignment — only a configured
+// sanitizer produces clean values. That over-approximates, but for the
+// invariants mwslint enforces a false flow is an annotation
+// (//mwslint:ignore) while a missed flow is a stored plaintext, so the
+// engine errs monotonically on the side of taint. Values of boolean and
+// numeric types never carry taint (a length or timestamp parsed out of
+// a secret is metadata, not the secret), which is what keeps the
+// over-approximation tolerable in practice.
+//
+// Known blind spots, accepted for a stdlib-only engine: dynamic calls
+// (interface methods, stored func values) propagate no taint into their
+// targets' parameters — sources *inside* such targets are still seen,
+// and spec hooks match interface callees by name/package so the symenc
+// Scheme methods act as sources/sanitizers at every call site; channels
+// and global variables propagate only within a single function.
+
+// labels is the taint lattice element: a bitset of source labels plus
+// symbolic parameter bits.
+type labels uint64
+
+// sourceLabelBits is the number of low bits reserved for spec-defined
+// source labels; the rest track parameter flows.
+const sourceLabelBits = 8
+
+// srcLabel returns the bit for spec source label i.
+func srcLabel(i int) labels { return labels(1) << i }
+
+// paramLabel returns the symbolic bit for parameter i, or 0 when the
+// function has more parameters than the lattice can track (flows from
+// the overflow parameters are dropped, never misattributed).
+func paramLabel(i int) labels {
+	if i >= 64-sourceLabelBits {
+		return 0
+	}
+	return labels(1) << (sourceLabelBits + i)
+}
+
+// sourceBits strips the symbolic parameter bits, leaving concrete
+// source labels.
+func sourceBits(t labels) labels { return t & (labels(1)<<sourceLabelBits - 1) }
+
+// sinkArg marks one parameter position of a call as a sink.
+type sinkArg struct {
+	// param is the signature parameter index (receivers are addressed by
+	// the engine, not the spec).
+	param int
+	// mask selects which source labels violate this sink.
+	mask labels
+	// message is the diagnostic; it may contain one %s verb, filled with
+	// the description of the first offending label.
+	message string
+}
+
+// sinkCtx gives spec hooks the package context of the call site, so
+// boundary sinks ("a call *into* store from outside") can tell crossing
+// flows from internal plumbing.
+type sinkCtx struct {
+	callerPkg *Package
+	info      *types.Info
+}
+
+// taintSpec configures one taint analysis: its source labels and the
+// hooks classifying calls and expressions as sources, sanitizers, and
+// sinks. Nil hooks are simply unused.
+type taintSpec struct {
+	name string
+	// labelDesc describes each source label, indexed by label bit.
+	labelDesc []string
+	// reportIn limits sink reporting to packages with these terminal
+	// names (nil = report everywhere). Summaries are still computed over
+	// the whole program.
+	reportIn []string
+	// seedParam returns labels a parameter carries at entry regardless of
+	// call sites (e.g. "a []byte parameter named key is key material").
+	seedParam func(fn *types.Func, v *types.Var) labels
+	// sourceExpr returns labels for a non-call expression (constants...).
+	sourceExpr func(info *types.Info, e ast.Expr) labels
+	// sourceCall returns labels for result i of a resolved call.
+	sourceCall func(callee *types.Func) map[int]labels
+	// sourceArgs marks signature parameter positions of a call whose
+	// argument objects become tainted at the call site (e.g. the
+	// plaintext handed to Seal is, by definition, plaintext).
+	sourceArgs func(callee *types.Func) map[int]labels
+	// sanitizes reports that the callee's results are clean regardless of
+	// argument taint (encryption: ciphertext out, whatever went in).
+	sanitizes func(callee *types.Func) bool
+	// sinkCall lists the sink parameters of a resolved call.
+	sinkCall func(cx *sinkCtx, callee *types.Func) []sinkArg
+	// sinkComposite classifies a composite literal type as a sink for its
+	// element values, returning a zero mask when it is not one.
+	sinkComposite func(cx *sinkCtx, typ types.Type) (labels, string)
+	// sinkReturn inspects a return site of fn during the report pass.
+	// taints are concretized per-result labels; exprs are the returned
+	// expressions aligned with results (nil for bare returns, the single
+	// call expression repeated for tail calls); wiped holds objects
+	// zeroed anywhere in the function.
+	sinkReturn func(fn *types.Func, pkg *Package, ret *ast.ReturnStmt, taints []labels, exprs []ast.Expr, wiped map[types.Object]bool, report func(token.Pos, string))
+}
+
+// describe renders the first set label of t for a %s message verb.
+func (s *taintSpec) describe(t labels) string {
+	for i, d := range s.labelDesc {
+		if t&srcLabel(i) != 0 {
+			return d
+		}
+	}
+	return "tainted data"
+}
+
+// funcFacts is the engine's per-function state: the summary under
+// computation plus the concrete taint known to flow into each parameter.
+type funcFacts struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	sig  *types.Signature
+	// params lists the receiver (if any) followed by the signature
+	// parameters; all parameter indices below are into this slice.
+	params []*types.Var
+	// recvOffset is 1 for methods, 0 otherwise: signature parameter j is
+	// params[j+recvOffset].
+	recvOffset int
+	// paramIn holds concrete source labels flowing into each parameter
+	// from seeds and call sites (never parameter bits).
+	paramIn []labels
+	// retOut is the transfer summary: the labels of each result with
+	// parameter i seeded paramIn[i]|paramLabel(i). Parameter bits are
+	// preserved so callers can substitute argument taint.
+	retOut []labels
+}
+
+// taintEngine ties a spec to a loaded program.
+type taintEngine struct {
+	spec    *taintSpec
+	prog    *Program
+	byObj   map[*types.Func]*funcFacts
+	ordered []*funcFacts // deterministic iteration order
+	changed bool
+	// reporting is the pass diagnostics go to; set only for the final
+	// replay, after the fixpoint has stabilized.
+	reporting *ProgramPass
+}
+
+// runTaint builds the engine, iterates summaries and parameter taint to
+// a global fixpoint, then replays every function once more with sink
+// reporting enabled.
+func runTaint(pass *ProgramPass, spec *taintSpec) {
+	e := &taintEngine{spec: spec, prog: pass.Prog, byObj: make(map[*types.Func]*funcFacts)}
+	for _, pkg := range pass.Prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				e.addFunc(fn, fd, pkg)
+			}
+		}
+	}
+	// Global fixpoint: labels only accumulate, so this terminates; the
+	// iteration cap is a safety net, not a tuning knob.
+	for range 64 {
+		e.changed = false
+		for _, fa := range e.ordered {
+			e.analyze(fa, false)
+		}
+		if !e.changed {
+			break
+		}
+	}
+	e.reporting = pass
+	for _, fa := range e.ordered {
+		if spec.reportIn != nil && !pathEndsIn(fa.pkg.Path, spec.reportIn...) {
+			continue
+		}
+		e.analyze(fa, true)
+	}
+}
+
+func (e *taintEngine) addFunc(fn *types.Func, decl *ast.FuncDecl, pkg *Package) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	fa := &funcFacts{fn: fn, decl: decl, pkg: pkg, sig: sig}
+	if recv := sig.Recv(); recv != nil {
+		fa.params = append(fa.params, recv)
+		fa.recvOffset = 1
+	}
+	for i := range sig.Params().Len() {
+		fa.params = append(fa.params, sig.Params().At(i))
+	}
+	fa.paramIn = make([]labels, len(fa.params))
+	if e.spec.seedParam != nil {
+		for i, v := range fa.params {
+			fa.paramIn[i] = sourceBits(e.spec.seedParam(fn, v))
+		}
+	}
+	fa.retOut = make([]labels, sig.Results().Len())
+	e.byObj[fn] = fa
+	e.ordered = append(e.ordered, fa)
+}
+
+// analyze runs the intraprocedural transfer for one function: to a local
+// fixpoint when report is false (propagating into summaries and callee
+// paramIn), or once more with sinks enabled when report is true.
+func (e *taintEngine) analyze(fa *funcFacts, report bool) {
+	b := &bodyState{engine: e, fa: fa, info: fa.pkg.Info, obj: make(map[types.Object]labels), retTaint: make([]labels, len(fa.retOut))}
+	for i, p := range fa.params {
+		b.setObj(p, fa.paramIn[i]|paramLabel(i))
+	}
+	for range 32 {
+		b.localChanged = false
+		b.stmt(fa.decl.Body)
+		if !b.localChanged {
+			break
+		}
+	}
+	if report {
+		b.report = true
+		if e.spec.sinkReturn != nil {
+			b.wiped = collectWiped(fa.decl.Body, fa.pkg.Info)
+		}
+		b.stmt(fa.decl.Body)
+		return
+	}
+	for i, t := range b.retTaint {
+		if t&^fa.retOut[i] != 0 {
+			fa.retOut[i] |= t
+			e.changed = true
+		}
+	}
+}
+
+// bodyState is the per-analysis mutable state for one function body.
+type bodyState struct {
+	engine *taintEngine
+	fa     *funcFacts
+	info   *types.Info
+	// obj maps in-scope objects to their taint (parameter bits included).
+	obj map[types.Object]labels
+	// retTaint accumulates per-result taint across return statements.
+	retTaint []labels
+	// funcLitDepth guards return-statement attribution inside closures.
+	funcLitDepth int
+	localChanged bool
+	report       bool
+	wiped        map[types.Object]bool
+}
+
+// reportf emits a diagnostic through the engine's program pass.
+func (b *bodyState) reportf(pos token.Pos, format string, args ...any) {
+	b.engine.reporting.report(Diagnostic{
+		Analyzer: b.engine.reporting.Analyzer.Name,
+		Pos:      b.engine.prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// concretize substitutes the current function's parameter bits with the
+// concrete labels known to flow into those parameters.
+func (b *bodyState) concretize(t labels) labels {
+	out := sourceBits(t)
+	for i := range b.fa.params {
+		if pb := paramLabel(i); pb != 0 && t&pb != 0 {
+			out |= b.fa.paramIn[i]
+		}
+	}
+	return out
+}
+
+// taintableType reports whether values of t can carry taint. Booleans
+// and numbers are metadata (lengths, timestamps, comparison results),
+// and so are the time package's types (a timestamp parsed out of an
+// authenticator is scheduling metadata, not the secret); everything
+// else — slices, strings, structs, pointers, interfaces — can hold
+// secret bytes.
+func taintableType(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+			return false
+		}
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok {
+		return basic.Info()&(types.IsBoolean|types.IsNumeric) == 0
+	}
+	return true
+}
+
+// filterByType clears taint on expressions whose type cannot carry it.
+func (b *bodyState) filterByType(e ast.Expr, t labels) labels {
+	if t == 0 {
+		return 0
+	}
+	if tv, ok := b.info.Types[e]; ok && tv.Type != nil && !taintableType(tv.Type) {
+		return 0
+	}
+	return t
+}
+
+func (b *bodyState) setObj(o types.Object, t labels) {
+	if o == nil || t == 0 || !taintableType(o.Type()) {
+		return
+	}
+	if t&^b.obj[o] != 0 {
+		b.obj[o] |= t
+		b.localChanged = true
+	}
+}
+
+// rootObj resolves the base object an lvalue expression stores into:
+// x, x.f, x[i], (*x), x[i:j] all root at x.
+func (b *bodyState) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := b.info.Defs[v]; o != nil {
+				return o
+			}
+			return b.info.Uses[v]
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// setLHS propagates taint into an assignment target.
+func (b *bodyState) setLHS(lhs ast.Expr, t labels) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Writing a tainted value into x.f or x[i] taints x as a whole:
+	// object granularity.
+	b.setObj(b.rootObj(lhs), t)
+}
+
+// --- statements ---
+
+func (b *bodyState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.AssignStmt:
+		b.assign(s)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				ts := b.exprMulti(vs.Values[0], len(vs.Names))
+				for i, name := range vs.Names {
+					b.setObj(b.info.Defs[name], ts[i])
+				}
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					b.setObj(b.info.Defs[name], b.expr(vs.Values[i]))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		b.ret(s)
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		b.stmt(s.Body)
+		b.stmt(s.Else)
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		if s.Cond != nil {
+			b.expr(s.Cond)
+		}
+		b.stmt(s.Post)
+		b.stmt(s.Body)
+	case *ast.RangeStmt:
+		t := b.expr(s.X)
+		if s.Key != nil {
+			if s.Tok == token.DEFINE {
+				if id, ok := s.Key.(*ast.Ident); ok {
+					b.setObj(b.info.Defs[id], t)
+				}
+			} else {
+				b.setLHS(s.Key, t)
+			}
+		}
+		if s.Value != nil {
+			if s.Tok == token.DEFINE {
+				if id, ok := s.Value.(*ast.Ident); ok {
+					b.setObj(b.info.Defs[id], t)
+				}
+			} else {
+				b.setLHS(s.Value, t)
+			}
+		}
+		b.stmt(s.Body)
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.expr(s.Tag)
+		}
+		b.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		var tagTaint labels
+		switch a := s.Assign.(type) {
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+					tagTaint = b.expr(ta.X)
+				}
+			}
+		case *ast.ExprStmt:
+			if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+				tagTaint = b.expr(ta.X)
+			}
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			// The per-clause implicit object carries the switched value.
+			b.setObj(b.info.Implicits[clause], tagTaint)
+			for _, st := range clause.Body {
+				b.stmt(st)
+			}
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			b.expr(e)
+		}
+		for _, st := range s.Body {
+			b.stmt(st)
+		}
+	case *ast.SelectStmt:
+		b.stmt(s.Body)
+	case *ast.CommClause:
+		b.stmt(s.Comm)
+		for _, st := range s.Body {
+			b.stmt(st)
+		}
+	case *ast.SendStmt:
+		// Channel contents collapse onto the channel object: a receive
+		// from it elsewhere in this function sees the taint.
+		b.setLHS(s.Chan, b.expr(s.Value))
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+	case *ast.GoStmt:
+		b.expr(s.Call)
+	case *ast.DeferStmt:
+		b.expr(s.Call)
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (b *bodyState) assign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		ts := b.exprMulti(s.Rhs[0], len(s.Lhs))
+		for i, lhs := range s.Lhs {
+			if s.Tok == token.DEFINE {
+				if id, ok := lhs.(*ast.Ident); ok {
+					b.setObj(b.info.Defs[id], ts[i])
+					continue
+				}
+			}
+			b.setLHS(lhs, ts[i])
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		t := b.expr(s.Rhs[i])
+		if s.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok {
+				b.setObj(b.info.Defs[id], t)
+				continue
+			}
+		}
+		// += on strings/slices merges; other tokens over-approximate
+		// harmlessly since taint is never killed anyway.
+		b.setLHS(lhs, t)
+	}
+}
+
+// exprMulti evaluates a single expression feeding n targets (call,
+// comma-ok forms).
+func (b *bodyState) exprMulti(e ast.Expr, n int) []labels {
+	out := make([]labels, n)
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		res := b.call(v)
+		copy(out, res)
+	case *ast.TypeAssertExpr:
+		out[0] = b.expr(v.X)
+	case *ast.IndexExpr:
+		out[0] = b.expr(v.X)
+		b.expr(v.Index)
+	case *ast.UnaryExpr: // <-ch
+		out[0] = b.expr(v.X)
+	default:
+		out[0] = b.expr(e)
+	}
+	return out
+}
+
+func (b *bodyState) ret(s *ast.ReturnStmt) {
+	if b.funcLitDepth > 0 {
+		// A closure's returns are not this function's results; evaluate
+		// for side effects only.
+		for _, e := range s.Results {
+			b.expr(e)
+		}
+		return
+	}
+	n := len(b.retTaint)
+	taints := make([]labels, n)
+	exprs := make([]ast.Expr, n)
+	switch {
+	case len(s.Results) == 0:
+		// Bare return: named results carry whatever they hold.
+		res := b.fa.sig.Results()
+		for i := range n {
+			if v := res.At(i); v.Name() != "" {
+				taints[i] = b.obj[v]
+			}
+		}
+	case len(s.Results) == n:
+		for i, e := range s.Results {
+			taints[i] = b.expr(e)
+			exprs[i] = e
+		}
+	case len(s.Results) == 1:
+		// Tail call: return f() with f multi-valued.
+		ts := b.exprMulti(s.Results[0], n)
+		copy(taints, ts)
+		for i := range exprs {
+			exprs[i] = s.Results[0]
+		}
+	}
+	for i := range n {
+		if taints[i]&^b.retTaint[i] != 0 {
+			b.retTaint[i] |= taints[i]
+			b.localChanged = true
+		}
+	}
+	if b.report && b.engine.spec.sinkReturn != nil {
+		conc := make([]labels, n)
+		for i := range n {
+			conc[i] = b.concretize(taints[i])
+		}
+		b.engine.spec.sinkReturn(b.fa.fn, b.fa.pkg, s, conc, exprs, b.wiped, func(pos token.Pos, msg string) {
+			b.reportf(pos, "%s", msg)
+		})
+	}
+}
+
+// --- expressions ---
+
+func (b *bodyState) expr(e ast.Expr) labels {
+	if e == nil {
+		return 0
+	}
+	var t labels
+	switch v := e.(type) {
+	case *ast.Ident:
+		if o := b.info.Uses[v]; o != nil {
+			t = b.obj[o]
+		}
+	case *ast.BasicLit:
+	case *ast.ParenExpr:
+		t = b.expr(v.X)
+	case *ast.SelectorExpr:
+		if pkgNameOf(b.info, identOf(v.X)) != nil {
+			// Qualified identifier pkg.Name: package-level state is not
+			// tracked across functions.
+			t = 0
+		} else {
+			t = b.expr(v.X)
+		}
+	case *ast.IndexExpr:
+		t = b.expr(v.X)
+		b.expr(v.Index)
+	case *ast.IndexListExpr:
+		t = b.expr(v.X)
+	case *ast.SliceExpr:
+		t = b.expr(v.X)
+		b.expr(v.Low)
+		b.expr(v.High)
+		b.expr(v.Max)
+	case *ast.StarExpr:
+		t = b.expr(v.X)
+	case *ast.UnaryExpr:
+		t = b.expr(v.X)
+	case *ast.BinaryExpr:
+		t = b.expr(v.X) | b.expr(v.Y)
+	case *ast.TypeAssertExpr:
+		t = b.expr(v.X)
+	case *ast.CompositeLit:
+		t = b.composite(v)
+	case *ast.CallExpr:
+		for _, r := range b.call(v) {
+			t |= r
+		}
+	case *ast.FuncLit:
+		// Analyze the closure body in the enclosing frame: captured
+		// objects are shared, so taint flows in and out naturally. Its
+		// own parameters start clean.
+		b.funcLitDepth++
+		b.stmt(v.Body)
+		b.funcLitDepth--
+	case *ast.KeyValueExpr:
+		b.expr(v.Key)
+		t = b.expr(v.Value)
+	}
+	if b.engine.spec.sourceExpr != nil {
+		t |= b.engine.spec.sourceExpr(b.info, e)
+	}
+	return b.filterByType(e, t)
+}
+
+func (b *bodyState) composite(lit *ast.CompositeLit) labels {
+	var t labels
+	elts := make([]labels, len(lit.Elts))
+	for i, el := range lit.Elts {
+		elts[i] = b.expr(el)
+		t |= elts[i]
+	}
+	if b.report && b.engine.spec.sinkComposite != nil {
+		if tv, ok := b.info.Types[lit]; ok && tv.Type != nil {
+			cx := &sinkCtx{callerPkg: b.fa.pkg, info: b.info}
+			if mask, msg := b.engine.spec.sinkComposite(cx, tv.Type); mask != 0 {
+				for i, el := range lit.Elts {
+					if eff := b.concretize(elts[i]) & mask; eff != 0 {
+						b.reportf(el.Pos(), msg, b.engine.spec.describe(eff))
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// identOf unwraps an expression to a bare identifier, or nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// staticCallee resolves the *types.Func a call statically invokes:
+// package functions, methods (concrete or interface), and instantiated
+// generics. Calls through stored function values resolve to nil.
+func staticCallee(info *types.Info, c *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(c.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// call evaluates a call expression, returning per-result taint and, as
+// side effects: argument evaluation, source-argument marking, sink
+// checking, and interprocedural propagation into the callee's paramIn.
+func (b *bodyState) call(c *ast.CallExpr) []labels {
+	info := b.info
+	spec := b.engine.spec
+
+	// Type conversion: taint passes through, subject to the type filter.
+	if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+		var t labels
+		for _, a := range c.Args {
+			t |= b.expr(a)
+		}
+		return []labels{b.filterByType(c, t)}
+	}
+
+	// Builtins.
+	if id := identOf(c.Fun); id != nil {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.builtin(id.Name, c)
+		}
+	}
+
+	callee := staticCallee(info, c)
+
+	// Expanded arguments: receiver first for method calls.
+	var args []ast.Expr
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := info.Selections[sel]; isMethod {
+			args = append(args, sel.X)
+		} else {
+			b.expr(sel.X) // qualified ident or func-typed field: evaluate
+		}
+	} else {
+		b.expr(c.Fun) // e.g. immediately-invoked closure, chained call
+	}
+	recvOffset := len(args)
+	args = append(args, c.Args...)
+	argTaint := make([]labels, len(args))
+	for i, a := range args {
+		argTaint[i] = b.expr(a)
+	}
+	// f(g()) with g multi-valued: every parameter sees the union of g's
+	// results (argTaint already holds that union; spreadAll makes the
+	// parameter mapping below use it for each position).
+	spreadAll := false
+	if len(c.Args) == 1 {
+		if inner, ok := ast.Unparen(c.Args[0]).(*ast.CallExpr); ok {
+			if tv, ok := info.Types[inner]; ok {
+				if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() > 1 {
+					spreadAll = true
+				}
+			}
+		}
+	}
+
+	// sigParamTaint folds the expanded arguments onto signature parameter
+	// j (receiver excluded), merging variadic tails.
+	var sigParams *types.Tuple
+	variadic := false
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			sigParams = sig.Params()
+			variadic = sig.Variadic()
+		}
+	}
+	sigParamTaint := func(j int) labels {
+		i := j + recvOffset
+		if spreadAll {
+			i = recvOffset
+		}
+		if i >= len(args) {
+			return 0
+		}
+		t := argTaint[i]
+		if variadic && sigParams != nil && j == sigParams.Len()-1 {
+			for k := i + 1; k < len(args); k++ {
+				t |= argTaint[k]
+			}
+		}
+		return t
+	}
+
+	// Source arguments: the call marks its argument objects tainted.
+	if callee != nil && spec.sourceArgs != nil {
+		for j, lab := range spec.sourceArgs(callee) {
+			if i := j + recvOffset; i < len(args) {
+				b.setObj(b.rootObj(args[i]), lab)
+				argTaint[i] |= lab
+			}
+		}
+	}
+
+	// Sinks.
+	if b.report && callee != nil && spec.sinkCall != nil {
+		cx := &sinkCtx{callerPkg: b.fa.pkg, info: info}
+		for _, s := range spec.sinkCall(cx, callee) {
+			t := sigParamTaint(s.param)
+			if eff := b.concretize(t) & s.mask; eff != 0 {
+				pos := c.Pos()
+				if i := s.param + recvOffset; i < len(args) {
+					pos = args[i].Pos()
+				}
+				b.reportf(pos, s.message, spec.describe(eff))
+			}
+		}
+	}
+
+	// Results: go/types records a *types.Tuple for zero or multiple
+	// results and the bare type for exactly one.
+	nres := 1
+	if tv, ok := info.Types[c]; ok && tv.Type != nil {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	out := make([]labels, max(nres, 1))
+
+	if callee != nil && spec.sanitizes != nil && spec.sanitizes(callee) {
+		return out
+	}
+
+	if fa := b.engine.byObj[callee]; fa != nil {
+		// Interprocedural propagation: widen the callee's incoming
+		// parameter taint with this site's concrete argument taint.
+		for j := range fa.params {
+			var t labels
+			if j < fa.recvOffset {
+				if recvOffset > 0 {
+					t = argTaint[0]
+				}
+			} else {
+				t = sigParamTaint(j - fa.recvOffset)
+			}
+			conc := b.concretize(t)
+			if conc&^fa.paramIn[j] != 0 {
+				fa.paramIn[j] |= conc
+				b.engine.changed = true
+			}
+		}
+		// Translate the callee summary: source bits pass through,
+		// parameter bits substitute this site's argument taint.
+		for i := 0; i < nres && i < len(fa.retOut); i++ {
+			ro := fa.retOut[i]
+			t := sourceBits(ro)
+			for j := range fa.params {
+				if pb := paramLabel(j); pb != 0 && ro&pb != 0 {
+					if j < fa.recvOffset {
+						if recvOffset > 0 {
+							t |= argTaint[0]
+						}
+					} else {
+						t |= sigParamTaint(j - fa.recvOffset)
+					}
+				}
+			}
+			out[i] = t
+		}
+	} else {
+		// Unresolved or external callee: conservatively, every result
+		// carries the union of the argument (and receiver) taint.
+		var t labels
+		for _, at := range argTaint {
+			t |= at
+		}
+		for i := range out {
+			out[i] = t
+		}
+	}
+
+	if callee != nil && spec.sourceCall != nil {
+		for i, lab := range spec.sourceCall(callee) {
+			if i < len(out) {
+				out[i] |= lab
+			}
+		}
+	}
+	if nres == 1 {
+		out[0] = b.filterByType(c, out[0])
+	}
+	return out
+}
+
+func (b *bodyState) builtin(name string, c *ast.CallExpr) []labels {
+	switch name {
+	case "append":
+		var t labels
+		for _, a := range c.Args {
+			t |= b.expr(a)
+		}
+		if len(c.Args) > 0 {
+			// append may write into the first argument's backing array.
+			b.setLHS(c.Args[0], t)
+		}
+		return []labels{t}
+	case "copy":
+		if len(c.Args) == 2 {
+			t := b.expr(c.Args[1])
+			b.expr(c.Args[0])
+			b.setLHS(c.Args[0], t)
+		}
+		return []labels{0}
+	case "min", "max":
+		var t labels
+		for _, a := range c.Args {
+			t |= b.expr(a)
+		}
+		return []labels{b.filterByType(c, t)}
+	default:
+		// len, cap, make, new, clear, delete, panic, print, println,
+		// close, complex, real, imag, recover: evaluate arguments; the
+		// results (if any) carry no secret bytes worth tracking.
+		for _, a := range c.Args {
+			b.expr(a)
+		}
+		return []labels{0}
+	}
+}
+
+// collectWiped finds objects the function zeroizes: explicit calls to a
+// wipe/zero helper, the clear builtin, or a range loop storing zero
+// bytes into the slice. keyzero treats a wiped slice as safe to return.
+func collectWiped(body *ast.BlockStmt, info *types.Info) map[types.Object]bool {
+	wiped := make(map[types.Object]bool)
+	mark := func(e ast.Expr) {
+		if id := identOf(e); id != nil {
+			if o := info.Uses[id]; o != nil {
+				wiped[o] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			name := ""
+			switch f := ast.Unparen(v.Fun).(type) {
+			case *ast.Ident:
+				name = f.Name
+			case *ast.SelectorExpr:
+				name = f.Sel.Name
+			}
+			if isWipeName(name) || name == "clear" {
+				for _, a := range v.Args {
+					mark(a)
+				}
+			}
+		case *ast.RangeStmt:
+			// for i := range k { k[i] = 0 }
+			if target := identOf(v.X); target != nil {
+				ast.Inspect(v.Body, func(m ast.Node) bool {
+					as, ok := m.(*ast.AssignStmt)
+					if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+						return true
+					}
+					ix, ok := as.Lhs[0].(*ast.IndexExpr)
+					if !ok {
+						return true
+					}
+					base := identOf(ix.X)
+					lit, isLit := as.Rhs[0].(*ast.BasicLit)
+					if base != nil && base.Name == target.Name && isLit && lit.Value == "0" {
+						mark(v.X)
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return wiped
+}
+
+// isWipeName matches the helper names keyzero accepts as zeroization.
+func isWipeName(name string) bool {
+	switch name {
+	case "Wipe", "wipe", "Zero", "zero", "Zeroize", "zeroize", "Scrub", "scrub":
+		return true
+	}
+	return false
+}
+
+// calleePkgEndsIn reports whether the callee is declared in a package
+// whose import path's final segment is one of names.
+func calleePkgEndsIn(fn *types.Func, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return pathEndsIn(fn.Pkg().Path(), names...)
+}
+
+// calleeSig returns the callee's signature, or nil.
+func calleeSig(fn *types.Func) *types.Signature {
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// isByteSlice reports whether t's underlying type is []byte.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if tv, ok := info.Types[e]; ok {
+		if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+			return true
+		}
+	}
+	id := identOf(e)
+	return id != nil && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil")
+}

@@ -1,0 +1,10 @@
+// Package kdf is a mwslint fixture: its terminal path segment makes
+// every byte-slice it returns key material for the keyzero analyzer.
+package kdf
+
+// Stream derives n bytes of key material from secret.
+func Stream(domain string, secret []byte, n int) []byte {
+	out := make([]byte, n)
+	copy(out, secret)
+	return out
+}

@@ -1,0 +1,6 @@
+// Package symenc is a mwslint fixture: its Seal is the keyzero
+// sanitizer — a sealed key is ciphertext, not raw key material.
+package symenc
+
+// Seal encrypts plaintext under key.
+func Seal(key, plaintext, aad []byte) ([]byte, error) { return plaintext, nil }

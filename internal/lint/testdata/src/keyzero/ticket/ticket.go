@@ -1,0 +1,94 @@
+// Package ticket is a mwslint fixture for the keyzero analyzer: its
+// terminal path segment puts it in keyzero's report scope, NewSessionKey
+// and the sibling kdf fixture are key-material sources, and the sibling
+// symenc fixture's Seal is the sanitizer.
+package ticket
+
+import (
+	"errors"
+	"io"
+
+	"mwskit/internal/lint/testdata/src/keyzero/kdf"
+	"mwskit/internal/lint/testdata/src/keyzero/symenc"
+)
+
+// NewSessionKey mints key material. It follows the sanctioned shape:
+// nil key on the failure path.
+func NewSessionKey(rng io.Reader) ([]byte, error) {
+	k := make([]byte, 32)
+	if _, err := rng.Read(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// DeriveBad returns the derived key even when validation fails.
+func DeriveBad(master, salt []byte) ([]byte, error) {
+	k := kdf.Stream("auth", master, 32)
+	if len(salt) == 0 {
+		return k, errors.New("ticket: empty salt") // want "key material is returned alongside a non-nil error"
+	}
+	return k, nil
+}
+
+// mint wraps the source one level down so the violation below is
+// genuinely interprocedural: NewSessionKey → mint → MintPair.
+func mint(rng io.Reader) ([]byte, error) {
+	k, err := NewSessionKey(rng)
+	return k, err
+}
+
+// MintPair mints two session keys; when the second fails it hands the
+// first one back alongside the error.
+func MintPair(rng io.Reader) ([]byte, []byte, error) {
+	a, err := mint(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := mint(rng)
+	if err != nil {
+		return a, nil, err // want "key material is returned alongside a non-nil error"
+	}
+	return a, b, nil
+}
+
+// MintPairSafe wipes the surviving key before the error return: clean.
+func MintPairSafe(rng io.Reader) ([]byte, []byte, error) {
+	a, err := mint(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := mint(rng)
+	if err != nil {
+		wipe(a)
+		return a, nil, err
+	}
+	return a, b, nil
+}
+
+func wipe(k []byte) {
+	for i := range k {
+		k[i] = 0
+	}
+}
+
+// Export seals the key before returning it next to the error: sealed
+// bytes are ciphertext, not key material, so nothing is reported.
+func Export(rng io.Reader, kek []byte) ([]byte, error) {
+	k, err := mint(rng)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := symenc.Seal(kek, k, nil)
+	return blob, err
+}
+
+// Stretch pads a caller-supplied key (seeded by its name); the copy
+// leaks on the length error.
+func Stretch(key []byte, n int) ([]byte, error) {
+	out := append([]byte(nil), key...)
+	if n < len(out) {
+		return out, errors.New("ticket: n too small") // want "key material is returned alongside a non-nil error"
+	}
+	return append(out, make([]byte, n-len(out))...), nil
+}

@@ -1,0 +1,77 @@
+// Package enc is a mwslint fixture for the noncereuse analyzer:
+// constant and loop-invariant nonces handed to the sibling symenc
+// fixture package's sinks.
+package enc
+
+import (
+	"crypto/rand"
+
+	"mwskit/internal/lint/testdata/src/noncereuse/symenc"
+)
+
+// SealConstant passes a compile-time-constant nonce literal.
+func SealConstant(key, pt []byte) []byte {
+	return symenc.SealWith(key, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, pt) // want "nonce/IV argument is a compile-time constant"
+}
+
+// SealConstantString launders a constant through a variable and a
+// helper before it reaches the sink: the taint engine still sees it.
+func SealConstantString(key, pt []byte) []byte {
+	n := []byte("000102030405")
+	return sealVia(key, n, pt)
+}
+
+func sealVia(key, n, pt []byte) []byte {
+	return symenc.SealWith(key, n, pt) // want "nonce/IV argument is a compile-time constant"
+}
+
+// EncryptFixedIV passes a constant IV to the CBC sink.
+func EncryptFixedIV(key, pt []byte) []byte {
+	iv := []byte("0123456789abcdef")
+	return symenc.EncryptCBC(key, iv, pt) // want "nonce/IV argument is a compile-time constant"
+}
+
+// SealFresh draws the nonce from crypto/rand: clean.
+func SealFresh(key, pt []byte) ([]byte, error) {
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return symenc.SealWith(key, nonce, pt), nil
+}
+
+// SealBatchStale reuses one nonce for every message in the batch.
+func SealBatchStale(key []byte, msgs [][]byte) [][]byte {
+	nonce := make([]byte, 12)
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, symenc.SealWith(key, nonce, m)) // want "nonce/IV argument nonce is reused across loop iterations"
+	}
+	return out
+}
+
+// SealBatchFresh redraws the nonce on every iteration: clean.
+func SealBatchFresh(key []byte, msgs [][]byte) ([][]byte, error) {
+	nonce := make([]byte, 12)
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, err
+		}
+		out = append(out, symenc.SealWith(key, nonce, m))
+	}
+	return out, nil
+}
+
+// SealBatchScoped declares the nonce inside the loop: clean.
+func SealBatchScoped(key []byte, msgs [][]byte) ([][]byte, error) {
+	out := make([][]byte, 0, len(msgs))
+	for _, m := range msgs {
+		nonce := make([]byte, 12)
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, err
+		}
+		out = append(out, symenc.SealWith(key, nonce, m))
+	}
+	return out, nil
+}

@@ -1,0 +1,9 @@
+// Package symenc is a mwslint fixture: its terminal path segment makes
+// its nonce/iv-named parameters noncereuse sinks.
+package symenc
+
+// SealWith encrypts with a caller-supplied nonce.
+func SealWith(key, nonce, plaintext []byte) []byte { return plaintext }
+
+// EncryptCBC encrypts with a caller-supplied IV.
+func EncryptCBC(key, iv, plaintext []byte) []byte { return plaintext }

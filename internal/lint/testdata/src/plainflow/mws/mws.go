@@ -1,0 +1,97 @@
+// Package mws is a mwslint fixture for the plainflow analyzer: its
+// terminal path segment puts it in plainflow's report scope, and the
+// sibling symenc/store/wire fixture packages play the roles of the real
+// crypto, storage, and framing layers.
+package mws
+
+import (
+	"io"
+
+	"mwskit/internal/lint/testdata/src/plainflow/store"
+	"mwskit/internal/lint/testdata/src/plainflow/symenc"
+	"mwskit/internal/lint/testdata/src/plainflow/wire"
+)
+
+// StoreDecrypted persists a freshly decrypted payload: the direct
+// violation.
+func StoreDecrypted(key, blob []byte) error {
+	pt, err := symenc.Open(key, blob, nil)
+	if err != nil {
+		return err
+	}
+	return store.Put(pt) // want "decrypted plaintext \\(symenc.Open output\\) flows into a storage write"
+}
+
+// StoreSealed re-encrypts before persisting: the sanctioned shape. The
+// Seal call sanitizes, so nothing is reported.
+func StoreSealed(key, blob []byte) error {
+	pt, err := symenc.Open(key, blob, nil)
+	if err != nil {
+		return err
+	}
+	ct, err := symenc.Seal(key, pt, nil)
+	if err != nil {
+		return err
+	}
+	return store.Put(ct)
+}
+
+// StoreRaw persists bytes that were never decrypted: clean.
+func StoreRaw(blob []byte) error {
+	return store.Put(blob)
+}
+
+// decrypt, relay, Persist, persist: the taint crosses three function
+// boundaries between the Open and the write.
+func decrypt(key, blob []byte) []byte {
+	pt, _ := symenc.Open(key, blob, nil)
+	return pt
+}
+
+func relay(key, blob []byte) []byte {
+	return decrypt(key, blob)
+}
+
+// Persist is the interprocedural violation's entry point.
+func Persist(key, blob []byte) error {
+	return persist(relay(key, blob))
+}
+
+func persist(rec []byte) error {
+	return store.Put(rec) // want "decrypted plaintext \\(symenc.Open output\\) flows into a storage write"
+}
+
+// SealAndJournal leaks the pre-encryption plaintext after sealing it:
+// the ciphertext is clean, but the input buffer is not.
+func SealAndJournal(key, msg []byte) ([]byte, error) {
+	ct, err := symenc.Seal(key, msg, nil)
+	if err != nil {
+		return nil, err
+	}
+	store.Audit(msg) // want "pre-encryption plaintext \\(symenc.Seal input\\) flows into a storage write"
+	return ct, nil
+}
+
+// Frame places decrypted bytes into a wire message literal.
+func Frame(key, blob []byte) wire.Record {
+	pt, _ := symenc.Open(key, blob, nil)
+	return wire.Record{Payload: pt} // want "decrypted plaintext \\(symenc.Open output\\) is placed into a wire message"
+}
+
+// Encode hands decrypted bytes to the wire layer.
+func Encode(key, blob []byte) []byte {
+	pt, _ := symenc.Open(key, blob, nil)
+	return wire.Encode(pt) // want "decrypted plaintext \\(symenc.Open output\\) flows into the wire layer"
+}
+
+// Dump writes decrypted bytes to an arbitrary io.Writer.
+func Dump(w io.Writer, key, blob []byte) error {
+	pt, _ := symenc.Open(key, blob, nil)
+	_, err := w.Write(pt) // want "decrypted plaintext \\(symenc.Open output\\) is written to an io.Writer"
+	return err
+}
+
+// FrameCiphertext frames never-decrypted bytes: clean.
+func FrameCiphertext(blob []byte) wire.Record {
+	return wire.Record{Payload: blob}
+}

@@ -1,0 +1,9 @@
+// Package store is a mwslint fixture: calls into it from other packages
+// are plainflow storage sinks.
+package store
+
+// Put persists one record.
+func Put(rec []byte) error { _ = rec; return nil }
+
+// Audit journals an entry alongside the records.
+func Audit(entry []byte) { _ = entry }

@@ -1,0 +1,11 @@
+// Package symenc is a mwslint fixture: its terminal path segment makes
+// its Open/Seal the plainflow source and sanitizer, exactly like the
+// real symmetric layer.
+package symenc
+
+// Open authenticates and decrypts blob; its output is plaintext.
+func Open(key, ciphertext, aad []byte) ([]byte, error) { return ciphertext, nil }
+
+// Seal encrypts plaintext; its output is ciphertext, but the plaintext
+// argument itself remains plaintext.
+func Seal(key, plaintext, aad []byte) ([]byte, error) { return plaintext, nil }

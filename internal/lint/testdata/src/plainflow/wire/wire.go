@@ -1,0 +1,13 @@
+// Package wire is a mwslint fixture: composing its message types or
+// calling into it from other packages is a plainflow framing sink. It
+// deliberately declares no TypeName named "Type", so the wireops
+// analyzer does not adopt it.
+package wire
+
+// Record is one framed message.
+type Record struct {
+	Payload []byte
+}
+
+// Encode frames a payload.
+func Encode(payload []byte) []byte { return payload }
