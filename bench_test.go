@@ -144,6 +144,62 @@ func BenchmarkScalarMult(b *testing.B) {
 	}
 }
 
+func BenchmarkScalarMultSecret(b *testing.B) {
+	sys, _, _ := fixtures(b)
+	g := sys.G1()
+	k, _ := sys.RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Curve.ScalarMultSecret(g, k)
+	}
+}
+
+func BenchmarkCombMul(b *testing.B) {
+	sys, _, _ := fixtures(b)
+	comb := sys.G1Comb()
+	k, _ := sys.RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = comb.Mul(k)
+	}
+}
+
+// BenchmarkEncapsulateIdentity splits the deposit-side KEM cost by g_ID
+// cache behaviour: "miss" disables the cache (every encapsulation pays
+// MapToPoint + a pairing), "hit" cycles repeat identities through an
+// enabled cache — the repeat-identity deposit path WithNonceEpoch buys.
+func BenchmarkEncapsulateIdentity(b *testing.B) {
+	sys, _, master := fixtures(b)
+	ids := make([][]byte, 8)
+	for i := range ids {
+		ids[i] = []byte(fmt.Sprintf("ELECTRIC-SITE-%d||epoch-nonce", i))
+	}
+	run := func(b *testing.B, params *bfibe.Params) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := params.Encapsulate(ids[i%len(ids)], 32, rand.Reader); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("miss", func(b *testing.B) {
+		params := bfibe.ParamsFromMaster(sys, master)
+		params.SetGIDCacheCap(0)
+		b.ResetTimer()
+		run(b, params)
+	})
+	b.Run("hit", func(b *testing.B) {
+		params := bfibe.ParamsFromMaster(sys, master)
+		for _, id := range ids { // pre-warm so every timed op is a hit
+			if _, _, err := params.Encapsulate(id, 32, rand.Reader); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		run(b, params)
+	})
+}
+
 func BenchmarkExtract(b *testing.B) {
 	_, params, master := fixtures(b)
 	ids := make([][]byte, 64)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,34 @@ import (
 	"mwskit/internal/wal"
 )
 
+// benchReport is the machine-readable result (-json), one object per run.
+type benchReport struct {
+	Preset     string           `json:"preset"`
+	Scheme     string           `json:"scheme"`
+	Auth       string           `json:"auth"`
+	Meters     int              `json:"meters"`
+	Messages   int              `json:"messages"`
+	NonceEpoch int              `json:"nonce_epoch"`
+	Micro      microResults     `json:"micro"`
+	Deposit    depositResult    `json:"deposit"`
+	Retrieve   []retrieveResult `json:"retrieve"`
+}
+
+type depositResult struct {
+	Messages   int     `json:"messages"`
+	MsgPerSec  float64 `json:"msgs_per_sec"`
+	P50Micros  int64   `json:"p50_us"`
+	P90Micros  int64   `json:"p90_us"`
+	P99Micros  int64   `json:"p99_us"`
+	MeanMicros int64   `json:"mean_us"`
+}
+
+type retrieveResult struct {
+	Company   string  `json:"company"`
+	Messages  int     `json:"messages"`
+	MsgPerSec float64 `json:"msgs_per_sec"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mwsbench: ")
@@ -31,7 +60,23 @@ func main() {
 	messages := flag.Int("messages", 300, "total messages to deposit")
 	seed := flag.Int64("seed", 1, "workload seed")
 	authMode := flag.String("auth", "mac", "device auth mode: mac (shared key) or ibs (identity-based signature)")
+	nonceEpoch := flag.Int("nonce-epoch", 1, "deposits sharing one nonce per device (1 = fresh nonce per message)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	microBudget := flag.Duration("micro-budget", time.Second, "time budget per phase-0 microbenchmark")
 	flag.Parse()
+
+	// Phase 0: offline crypto microbenchmarks, no deployment involved.
+	warmEpoch := *nonceEpoch
+	if warmEpoch <= 1 {
+		warmEpoch = 64
+	}
+	micro := runMicro(*preset, warmEpoch, *microBudget)
+	fmt.Printf("offline hot path (preset=%s):\n", *preset)
+	fmt.Printf("  extract:                %8.1f ops/s\n", micro.ExtractPerSec)
+	fmt.Printf("  prepare cold (epoch=1): %8.1f msg/s\n", micro.PrepareColdPerSec)
+	fmt.Printf("  prepare warm (epoch=%d): %7.1f msg/s\n", warmEpoch, micro.PrepareWarmPerSec)
+	fmt.Printf("  prepare warm, no cache: %8.1f msg/s\n", micro.PrepareNoCachePerSec)
+	fmt.Printf("  warm speedup:           %8.1fx\n\n", micro.WarmSpeedup)
 
 	dir, err := os.MkdirTemp("", "mwsbench-*")
 	if err != nil {
@@ -77,6 +122,7 @@ func main() {
 		dev   *device.Device
 	}
 	devices := make([]deviceEntry, len(fleet.Meters))
+	epochOpt := device.WithNonceEpoch(*nonceEpoch)
 	for i, m := range fleet.Meters {
 		var sd *device.Device
 		var err error
@@ -87,9 +133,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			sd, err = dep.NewDevice(m.ID, key)
+			sd, err = dep.NewDevice(m.ID, key, epochOpt)
 		case "ibs":
-			sd, err = dep.NewSigningDevice(m.ID)
+			sd, err = dep.NewSigningDevice(m.ID, epochOpt)
 		default:
 			log.Fatalf("unknown auth mode %q", *authMode)
 		}
@@ -128,8 +174,27 @@ func main() {
 		})
 	}
 	depositElapsed := time.Since(start)
-	fmt.Printf("\nSD–MWS deposit phase:   %s\n", depositHist.Snapshot())
+	depositSnap := depositHist.Snapshot()
+	fmt.Printf("\nSD–MWS deposit phase:   %s\n", depositSnap)
 	fmt.Printf("  throughput: %.1f msg/s\n", metrics.Throughput(*messages, depositElapsed))
+
+	report := benchReport{
+		Preset:     *preset,
+		Scheme:     *scheme,
+		Auth:       *authMode,
+		Meters:     *meters,
+		Messages:   *messages,
+		NonceEpoch: *nonceEpoch,
+		Micro:      micro,
+		Deposit: depositResult{
+			Messages:   *messages,
+			MsgPerSec:  metrics.Throughput(*messages, depositElapsed),
+			P50Micros:  depositSnap.P50.Microseconds(),
+			P90Micros:  depositSnap.P90.Microseconds(),
+			P99Micros:  depositSnap.P99.Microseconds(),
+			MeanMicros: depositSnap.Mean.Microseconds(),
+		},
+	}
 
 	// Phase 2+3: each company retrieves and decrypts everything it may see.
 	for _, company := range []string{"C-Services", "Electric-and-Gas-Co", "Water-and-Resources-Co"} {
@@ -142,5 +207,21 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Printf("%-24s retrieved+decrypted %4d msgs in %v (%.1f msg/s)\n",
 			company+":", len(msgs), elapsed.Round(time.Millisecond), metrics.Throughput(len(msgs), elapsed))
+		report.Retrieve = append(report.Retrieve, retrieveResult{
+			Company:   company,
+			Messages:  len(msgs),
+			MsgPerSec: metrics.Throughput(len(msgs), elapsed),
+		})
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,103 @@
+// Phase 0 of mwsbench: offline crypto microbenchmarks that isolate the
+// IBE hot path from the network and storage layers. The cold/warm pair
+// quantifies what the g_ID cache buys a device that reuses its nonce
+// across an epoch (paper §V.D): cold pays MapToPoint + a Tate pairing
+// per message, warm pays a cache lookup plus the per-message comb
+// multiplication and GT exponentiation that keep session keys fresh.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/bfibe"
+	"mwskit/internal/device"
+	"mwskit/internal/macauth"
+	"mwskit/internal/metrics"
+	"mwskit/internal/pairing"
+)
+
+// microResults is the phase-0 row of the JSON report.
+type microResults struct {
+	ExtractPerSec        float64 `json:"extract_per_sec"`
+	PrepareColdPerSec    float64 `json:"prepare_cold_msgs_per_sec"`
+	PrepareWarmPerSec    float64 `json:"prepare_warm_msgs_per_sec"`
+	PrepareNoCachePerSec float64 `json:"prepare_nocache_msgs_per_sec"`
+	WarmSpeedup          float64 `json:"warm_speedup"`
+}
+
+// rate runs op repeatedly for roughly budget and returns ops/second. One
+// untimed warm-up call absorbs lazy initialization (the fixed-base comb,
+// allocator warm-up) so it doesn't land inside the measurement.
+func rate(budget time.Duration, op func()) float64 {
+	op()
+	var n int
+	start := time.Now()
+	for time.Since(start) < budget {
+		for i := 0; i < 8; i++ {
+			op()
+		}
+		n += 8
+	}
+	return metrics.Throughput(n, time.Since(start))
+}
+
+// preparer builds an offline device against params and returns a closure
+// that prepares one deposit frame (everything up to, excluding, the wire
+// round trip).
+func preparer(params *bfibe.Params, epoch int) func() {
+	d, err := device.New("BENCH-SD", make([]byte, macauth.KeyLen), params,
+		device.WithNonceEpoch(epoch))
+	if err != nil {
+		log.Fatalf("micro: %v", err)
+	}
+	a := attr.Attribute("ELECTRIC-METER-BENCH")
+	payload := make([]byte, 64)
+	return func() {
+		if _, err := d.PrepareDeposit(a, payload); err != nil {
+			log.Fatalf("micro: prepare: %v", err)
+		}
+	}
+}
+
+// runMicro measures the offline hot path on the named preset. warmEpoch
+// is the nonce-epoch length used for the warm measurements.
+func runMicro(preset string, warmEpoch int, budget time.Duration) microResults {
+	pp, ok := pairing.Presets[preset]
+	if !ok {
+		log.Fatalf("micro: unknown preset %q", preset)
+	}
+	sys := pp.MustSystem()
+	params, master, err := bfibe.Setup(sys, rand.Reader)
+	if err != nil {
+		log.Fatalf("micro: setup: %v", err)
+	}
+
+	var res microResults
+
+	extractID := 0
+	res.ExtractPerSec = rate(budget, func() {
+		extractID++
+		if _, err := master.Extract(params, fmt.Appendf(nil, "SD-%d", extractID)); err != nil {
+			log.Fatalf("micro: extract: %v", err)
+		}
+	})
+
+	// Each measurement gets its own Params so one run's cache contents
+	// can't subsidize the next.
+	res.PrepareColdPerSec = rate(budget, preparer(bfibe.ParamsFromMaster(sys, master), 1))
+
+	res.PrepareWarmPerSec = rate(budget, preparer(bfibe.ParamsFromMaster(sys, master), warmEpoch))
+
+	nocache := bfibe.ParamsFromMaster(sys, master)
+	nocache.SetGIDCacheCap(0)
+	res.PrepareNoCachePerSec = rate(budget, preparer(nocache, warmEpoch))
+
+	if res.PrepareColdPerSec > 0 {
+		res.WarmSpeedup = res.PrepareWarmPerSec / res.PrepareColdPerSec
+	}
+	return res
+}

@@ -115,6 +115,97 @@ func persist(rec []byte) error {
 	}
 }
 
+// TestSeededVartimeViolation seeds a module where RandomScalar output
+// crosses a package boundary before hitting the variable-time
+// multiplier, and asserts the binary exits 1 naming vartime.
+func TestSeededVartimeViolation(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(tmp, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchvartime\n\ngo 1.24\n")
+	write("ec/ec.go", `// Package ec mimics the curve layer's shape.
+package ec
+
+import "math/big"
+
+// Point is a curve point.
+type Point struct{ X, Y *big.Int }
+
+// Curve is the group.
+type Curve struct{}
+
+// ScalarMult is the variable-time multiplier.
+func (c *Curve) ScalarMult(p Point, k *big.Int) Point { _ = k; return p }
+
+// ScalarMultSecret is the constant-schedule multiplier.
+func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point { _ = k; return p }
+`)
+	write("pairing/pairing.go", `// Package pairing mimics the pairing layer's shape.
+package pairing
+
+import (
+	"io"
+	"math/big"
+
+	"scratchvartime/ec"
+)
+
+// System carries the group parameters.
+type System struct{ Curve *ec.Curve }
+
+// RandomScalar draws a uniform scalar: the vartime source.
+func (s *System) RandomScalar(r io.Reader) (*big.Int, error) {
+	_ = r
+	return big.NewInt(7), nil
+}
+`)
+	write("kem/kem.go", `// Package kem seeds the cross-package violation: the encapsulation
+// randomness reaches ScalarMult through a helper in another package.
+package kem
+
+import (
+	"crypto/rand"
+
+	"scratchvartime/ec"
+	"scratchvartime/pairing"
+)
+
+// Encapsulate is deliberately broken: r takes the variable-time path.
+func Encapsulate(sys *pairing.System, base ec.Point) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	return sys.Curve.ScalarMult(base, r), nil
+}
+`)
+
+	cmd := exec.Command("go", "run", "./cmd/mwslint", "-C", tmp, "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("mwslint should exit 1: err=%v\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("mwslint exit code = %d, want 1; output:\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "vartime") {
+		t.Fatalf("mwslint output does not name vartime:\n%s", out)
+	}
+	if !strings.Contains(string(out), "RandomScalar") {
+		t.Fatalf("mwslint output does not describe the RandomScalar taint:\n%s", out)
+	}
+}
+
 // TestListNamesEveryAnalyzer keeps -list in sync with the suite.
 func TestListNamesEveryAnalyzer(t *testing.T) {
 	cmd := exec.Command("go", "run", "./cmd/mwslint", "-list")
@@ -125,7 +216,7 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 	}
 	for _, name := range []string{
 		"cryptocompare", "randsource", "secretlog", "ctxflow", "wireops",
-		"plainflow", "noncereuse", "keyzero",
+		"plainflow", "noncereuse", "keyzero", "vartime",
 	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)

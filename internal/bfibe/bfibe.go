@@ -34,10 +34,34 @@ const sigmaLen = 32
 
 // Params are the public system parameters the PKG publishes after Setup:
 // the pairing system (field, curve, base point P) and P_pub = sP.
+//
+// Params also owns the g_ID hot-path cache (gidcache.go), so it must be
+// handled by pointer once in use; every constructor in this package and
+// its callers already does.
 type Params struct {
 	Sys  *pairing.System
 	PPub ec.Point // sP, the public master key
+
+	// gid caches g_ID = ê(Q_ID, P_pub) per identity digest so repeat
+	// deposits to the same attribute ‖ nonce identity skip the pairing.
+	gid gidCache
 }
+
+// InvalidateIdentity drops the cached g_ID for one identity. Devices call
+// it on nonce rotation: the retired attribute ‖ nonce digest will never
+// be encrypted to again, so its pairing value is dead weight.
+func (p *Params) InvalidateIdentity(id []byte) { p.gid.invalidate(id) }
+
+// FlushGIDCache empties the g_ID cache.
+func (p *Params) FlushGIDCache() { p.gid.flush() }
+
+// GIDCacheLen reports the number of cached g_ID values.
+func (p *Params) GIDCacheLen() int { return p.gid.size() }
+
+// SetGIDCacheCap bounds the g_ID cache (default 256 entries); n ≤ 0
+// disables caching entirely, which benchmarks use to measure the
+// uncached path.
+func (p *Params) SetGIDCacheCap(n int) { p.gid.setCap(n) }
 
 // MasterKey is the PKG's master secret s. It never leaves the PKG.
 type MasterKey struct {
@@ -71,13 +95,13 @@ func Setup(sys *pairing.System, rng io.Reader) (*Params, *MasterKey, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("bfibe: setup: %w", err)
 	}
-	pub := sys.Curve.ScalarMult(sys.G1(), s)
+	pub := sys.G1Comb().Mul(s)
 	return &Params{Sys: sys, PPub: pub}, &MasterKey{s: s}, nil
 }
 
 // ParamsFromMaster rebuilds public parameters from a persisted master key.
 func ParamsFromMaster(sys *pairing.System, mk *MasterKey) *Params {
-	return &Params{Sys: sys, PPub: sys.Curve.ScalarMult(sys.G1(), mk.s)}
+	return &Params{Sys: sys, PPub: sys.G1Comb().Mul(mk.s)}
 }
 
 // HashIdentity maps an identity string to its public point Q_ID ∈ G1
@@ -92,20 +116,27 @@ func (m *MasterKey) Extract(p *Params, id []byte) (*PrivateKey, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: extract: %w", err)
 	}
-	d := p.Sys.Curve.ScalarMult(q, m.s)
+	d := p.Sys.Curve.ScalarMultSecret(q, m.s)
 	idCopy := make([]byte, len(id))
 	copy(idCopy, id)
 	return &PrivateKey{ID: idCopy, D: d}, nil
 }
 
-// gID computes g_ID = ê(Q_ID, P_pub), the value whose r-th power keys a
-// ciphertext for the identity.
+// gID returns g_ID = ê(Q_ID, P_pub), the value whose r-th power keys a
+// ciphertext for the identity — from the cache when the identity was
+// encrypted to before (one deposit per message within a nonce epoch hits
+// this), computing and caching the hash-to-curve plus pairing otherwise.
 func (p *Params) gID(id []byte) (pairing.GT, error) {
+	if g, ok := p.gid.get(id); ok {
+		return g, nil
+	}
 	q, err := p.HashIdentity(id)
 	if err != nil {
 		return pairing.GT{}, err
 	}
-	return p.Sys.Pair(q, p.PPub), nil
+	g := p.Sys.Pair(q, p.PPub)
+	p.gid.put(id, g)
+	return g, nil
 }
 
 // --- KEM (the paper's hybrid usage) ---
@@ -129,7 +160,7 @@ func (p *Params) Encapsulate(id []byte, keyLen int, rng io.Reader) (*Encapsulati
 	if err != nil {
 		return nil, nil, err
 	}
-	u := p.Sys.Curve.ScalarMult(p.Sys.G1(), r)
+	u := p.Sys.G1Comb().Mul(r)
 	shared := g.Exp(r)
 	return &Encapsulation{U: u}, kdf.SessionKey(shared.Bytes(), keyLen), nil
 }
@@ -140,8 +171,14 @@ func (p *Params) Decapsulate(sk *PrivateKey, enc *Encapsulation, keyLen int) ([]
 	if sk == nil || enc == nil {
 		return nil, errors.New("bfibe: nil key or encapsulation")
 	}
-	if !p.Sys.Curve.IsOnCurve(enc.U) {
+	if enc.U.Inf || !p.Sys.Curve.IsOnCurve(enc.U) {
 		return nil, errors.New("bfibe: encapsulation point off curve")
+	}
+	// Order check before the point meets d_ID: an on-curve point outside
+	// G1 pairs into a small subgroup and probes the private key (the
+	// invalid-point attack); honest encapsulations are always rP ∈ G1.
+	if !p.Sys.Curve.ScalarBaseOrderCheck(enc.U) {
+		return nil, errors.New("bfibe: encapsulation point not in the order-q subgroup")
 	}
 	shared := p.Sys.Pair(sk.D, enc.U)
 	return kdf.SessionKey(shared.Bytes(), keyLen), nil
@@ -165,7 +202,7 @@ func (p *Params) EncryptBasic(id, msg []byte, rng io.Reader) (*CiphertextBasic, 
 	if err != nil {
 		return nil, err
 	}
-	u := p.Sys.Curve.ScalarMult(p.Sys.G1(), r)
+	u := p.Sys.G1Comb().Mul(r)
 	pad := g.Exp(r)
 	return &CiphertextBasic{
 		U: u,
@@ -179,8 +216,11 @@ func (p *Params) DecryptBasic(sk *PrivateKey, ct *CiphertextBasic) ([]byte, erro
 	if sk == nil || ct == nil {
 		return nil, errors.New("bfibe: nil key or ciphertext")
 	}
-	if !p.Sys.Curve.IsOnCurve(ct.U) {
+	if ct.U.Inf || !p.Sys.Curve.IsOnCurve(ct.U) {
 		return nil, errors.New("bfibe: ciphertext point off curve")
+	}
+	if !p.Sys.Curve.ScalarBaseOrderCheck(ct.U) {
+		return nil, errors.New("bfibe: ciphertext point not in the order-q subgroup")
 	}
 	pad := p.Sys.Pair(sk.D, ct.U)
 	return kdf.Mask("mwskit/bfibe/h2", pad.Bytes(), ct.V), nil
@@ -212,8 +252,10 @@ func (p *Params) EncryptFull(id, msg []byte, rng io.Reader) (*CiphertextFull, er
 	if _, err := io.ReadFull(rng, sigma); err != nil {
 		return nil, fmt.Errorf("bfibe: sigma: %w", err)
 	}
+	// r is secret (it determines the pad), so even this hash-derived
+	// scalar takes the constant-schedule fixed-base path.
 	r := kdf.ToScalar("mwskit/bfibe/h3", p.Sys.Curve.Q, sigma, msg)
-	u := p.Sys.Curve.ScalarMult(p.Sys.G1(), r)
+	u := p.Sys.G1Comb().Mul(r)
 	pad := g.Exp(r)
 	return &CiphertextFull{
 		U: u,
@@ -231,11 +273,14 @@ func (p *Params) DecryptFull(sk *PrivateKey, ct *CiphertextFull) ([]byte, error)
 	if ct.U.Inf || !p.Sys.Curve.IsOnCurve(ct.U) || len(ct.V) != sigmaLen {
 		return nil, ErrDecrypt
 	}
+	if !p.Sys.Curve.ScalarBaseOrderCheck(ct.U) {
+		return nil, ErrDecrypt
+	}
 	pad := p.Sys.Pair(sk.D, ct.U)
 	sigma := kdf.Mask("mwskit/bfibe/h2", pad.Bytes(), ct.V)
 	msg := kdf.Mask("mwskit/bfibe/h4", sigma, ct.W)
 	r := kdf.ToScalar("mwskit/bfibe/h3", p.Sys.Curve.Q, sigma, msg)
-	uCheck := p.Sys.Curve.ScalarMult(p.Sys.G1(), r)
+	uCheck := p.Sys.G1Comb().Mul(r)
 	if !uCheck.Equal(ct.U) {
 		return nil, ErrDecrypt
 	}

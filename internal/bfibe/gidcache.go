@@ -1,0 +1,136 @@
+package bfibe
+
+import (
+	"container/list"
+	"sync"
+
+	"mwskit/internal/pairing"
+)
+
+// defaultGIDCacheCap bounds the g_ID cache when no explicit capacity is
+// set. A deployment's working set is one identity per (attribute, nonce
+// epoch) per depositing device, so a few hundred entries covers a large
+// fleet; each entry is one GT element (two field elements) plus its
+// identity-digest key.
+const defaultGIDCacheCap = 256
+
+// gidEntry is one cached pairing value, keyed by identity digest.
+type gidEntry struct {
+	key string
+	g   pairing.GT
+}
+
+// gidCache is a bounded, concurrency-safe LRU of g_ID = ê(Q_ID, P_pub).
+// Identities are already fixed-length digests (kdf.AttributeDigest of
+// attribute ‖ nonce), so the raw identity bytes serve as the key. GT
+// values are immutable, so a cached element can be handed to any number
+// of concurrent encryptors without copying.
+//
+// The zero value is ready to use (Params is built by composite literal
+// in several places); all state is lazily initialized under the mutex.
+type gidCache struct {
+	mu     sync.Mutex
+	capSet bool
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+}
+
+// capacity returns the effective bound, defaulting when unset.
+func (c *gidCache) capacity() int {
+	if !c.capSet {
+		return defaultGIDCacheCap
+	}
+	return c.cap
+}
+
+// get returns the cached value for an identity, refreshing its recency.
+func (c *gidCache) get(id []byte) (pairing.GT, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil {
+		return pairing.GT{}, false
+	}
+	el, ok := c.byKey[string(id)]
+	if !ok {
+		return pairing.GT{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*gidEntry).g, true
+}
+
+// put inserts or refreshes an identity's pairing value, evicting from the
+// LRU tail past capacity. A non-positive capacity disables caching.
+func (c *gidCache) put(id []byte, g pairing.GT) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity() <= 0 {
+		return
+	}
+	if c.byKey == nil {
+		c.byKey = make(map[string]*list.Element)
+		c.ll = list.New()
+	}
+	key := string(id)
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*gidEntry).g = g
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&gidEntry{key: key, g: g})
+	for c.ll.Len() > c.capacity() {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*gidEntry).key)
+	}
+}
+
+// invalidate drops one identity (nonce rotation retires its digest).
+func (c *gidCache) invalidate(id []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byKey == nil {
+		return
+	}
+	if el, ok := c.byKey[string(id)]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, string(id))
+	}
+}
+
+// flush empties the cache.
+func (c *gidCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll = nil
+	c.byKey = nil
+}
+
+// size reports the current entry count.
+func (c *gidCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ll == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// setCap adjusts the capacity, evicting down to the new bound; n ≤ 0
+// disables caching and drops everything held.
+func (c *gidCache) setCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capSet = true
+	c.cap = n
+	if n <= 0 {
+		c.ll = nil
+		c.byKey = nil
+		return
+	}
+	for c.ll != nil && c.ll.Len() > n {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*gidEntry).key)
+	}
+}

@@ -10,7 +10,10 @@ import (
 )
 
 // Wire encodings for the bfibe types. Layout is length-prefixed
-// big-endian; all decoders validate curve membership via the ec layer.
+// big-endian; all decoders validate full order-q subgroup membership via
+// ec.SubgroupPointFromBytes — every point decoded here later meets
+// secret material (a private key in a pairing, the master scalar), so
+// curve membership alone would leave the small-subgroup door open.
 
 // MarshalParams encodes the public parameters (P_pub only — the pairing
 // system itself is negotiated out of band as a named preset, mirroring
@@ -22,7 +25,7 @@ func MarshalParams(p *Params) []byte {
 
 // UnmarshalParams decodes parameters against a known pairing system.
 func UnmarshalParams(sys *pairing.System, b []byte) (*Params, error) {
-	pt, err := sys.Curve.PointFromBytes(b)
+	pt, err := sys.Curve.SubgroupPointFromBytes(b)
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: params: %w", err)
 	}
@@ -52,7 +55,7 @@ func UnmarshalPrivateKey(p *Params, b []byte) (*PrivateKey, error) {
 	}
 	id := make([]byte, idLen)
 	copy(id, b[4:4+idLen])
-	d, err := p.Sys.Curve.PointFromBytes(b[4+idLen:])
+	d, err := p.Sys.Curve.SubgroupPointFromBytes(b[4+idLen:])
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: private key: %w", err)
 	}
@@ -65,9 +68,10 @@ func MarshalEncapsulation(p *Params, e *Encapsulation) []byte {
 	return p.Sys.Curve.Bytes(e.U)
 }
 
-// UnmarshalEncapsulation decodes and validates U.
+// UnmarshalEncapsulation decodes U, rejecting off-subgroup points before
+// they can reach a decapsulation pairing.
 func UnmarshalEncapsulation(p *Params, b []byte) (*Encapsulation, error) {
-	u, err := p.Sys.Curve.PointFromBytes(b)
+	u, err := p.Sys.Curve.SubgroupPointFromBytes(b)
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: encapsulation: %w", err)
 	}
@@ -94,7 +98,7 @@ func UnmarshalCiphertextFull(p *Params, b []byte) (*CiphertextFull, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: ciphertext: %w", err)
 	}
-	pt, err := p.Sys.Curve.PointFromBytes(u)
+	pt, err := p.Sys.Curve.SubgroupPointFromBytes(u)
 	if err != nil {
 		return nil, fmt.Errorf("bfibe: ciphertext: %w", err)
 	}

@@ -3,7 +3,8 @@
 // identity, the MAC key it shares with the MWS, the PKG's public IBE
 // parameters, and a symmetric scheme; for each message it
 //
-//  1. draws a fresh nonce and derives I = SHA1(A ‖ Nonce),
+//  1. takes the current epoch's nonce (fresh per message by default; see
+//     WithNonceEpoch) and derives I = SHA1(A ‖ Nonce),
 //  2. encapsulates a session key K = ê(sP, rI) with transport point rP,
 //  3. seals the payload under K,
 //  4. MACs rP ‖ C ‖ (A ‖ Nonce) ‖ ID_SD ‖ T with the shared key, and
@@ -14,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"mwskit/internal/attr"
@@ -25,8 +27,9 @@ import (
 	"mwskit/internal/wire"
 )
 
-// Device is a depositing client. Immutable after construction and safe
-// for concurrent deposits.
+// Device is a depositing client. Safe for concurrent deposits: all
+// configuration is immutable after construction, and the only mutable
+// state — the nonce-epoch tracker — is guarded by its own mutex.
 type Device struct {
 	id      string
 	macKey  []byte
@@ -35,6 +38,16 @@ type Device struct {
 	scheme  symenc.Scheme
 	rand    io.Reader
 	now     func() time.Time
+
+	// Nonce-epoch state (paper §V.D: the nonce exists to keep identities
+	// fresh; reusing one across an epoch of messages trades a little
+	// unlinkability for a cache-hit deposit path). epoch is how many
+	// messages share a nonce — 1 means a fresh nonce per message.
+	mu        sync.Mutex
+	epoch     int
+	nonce     attr.Nonce
+	remaining int                 // deposits left before rotation
+	epochIDs  map[string]struct{} // identity digests minted this epoch
 }
 
 // Option customizes a Device.
@@ -49,6 +62,15 @@ func WithRand(r io.Reader) Option { return func(d *Device) { d.rand = r } }
 
 // WithClock overrides the timestamp source.
 func WithClock(now func() time.Time) Option { return func(d *Device) { d.now = now } }
+
+// WithNonceEpoch makes n consecutive deposits share one nonce before the
+// device rotates to a fresh one (n ≤ 1 keeps the default fresh-per-message
+// behavior). Within an epoch, deposits for the same attribute reuse the
+// same identity I = SHA1(A ‖ Nonce), so the IBE layer's g_ID cache turns
+// the per-deposit pairing into a lookup; session keys stay fresh because
+// each encapsulation still draws its own r. Rotation invalidates the
+// epoch's cached identities.
+func WithNonceEpoch(n int) Option { return func(d *Device) { d.epoch = n } }
 
 // WithSigningKey switches the device to identity-based signature
 // authentication (wire.AuthModeIBS): deposits are signed under the
@@ -80,14 +102,64 @@ func New(id string, macKey []byte, params *bfibe.Params, opts ...Option) (*Devic
 		scheme: symenc.Default(),
 		rand:   attr.RandReader,
 		now:    time.Now,
+		epoch:  1,
 	}
 	for _, o := range opts {
 		o(d)
 	}
+	if d.epoch < 1 {
+		d.epoch = 1
+	}
 	if d.signKey == nil && len(d.macKey) != macauth.KeyLen {
 		return nil, fmt.Errorf("device: MAC key must be %d bytes", macauth.KeyLen)
 	}
+	// Pay the one-time fixed-base table build at registration so it never
+	// lands on a deposit.
+	params.Sys.G1Comb()
 	return d, nil
+}
+
+// nonceFor hands out the current epoch's nonce for one deposit, rotating
+// when the epoch is spent, and records the identity minted under it so
+// rotation can invalidate the IBE layer's cache entries.
+func (d *Device) nonceFor(a attr.Attribute) (attr.Nonce, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.remaining <= 0 {
+		if err := d.rotateLocked(); err != nil {
+			return attr.Nonce{}, err
+		}
+	}
+	d.remaining--
+	if d.epochIDs == nil {
+		d.epochIDs = make(map[string]struct{})
+	}
+	d.epochIDs[string(attr.Identity(a, d.nonce))] = struct{}{}
+	return d.nonce, nil
+}
+
+// rotateLocked draws a fresh nonce, retires the outgoing epoch's cached
+// identities, and resets the epoch budget. Caller holds d.mu.
+func (d *Device) rotateLocked() error {
+	n, err := attr.NewNonce(d.rand)
+	if err != nil {
+		return err
+	}
+	for id := range d.epochIDs {
+		d.params.InvalidateIdentity([]byte(id))
+	}
+	d.epochIDs = nil
+	d.nonce = n
+	d.remaining = d.epoch
+	return nil
+}
+
+// RotateNonce forces an immediate nonce rotation, ending the current
+// epoch early (e.g. on a schedule, or after a suspected compromise).
+func (d *Device) RotateNonce() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rotateLocked()
 }
 
 // ID returns the device identity.
@@ -117,7 +189,7 @@ func (d *Device) prepareUnsigned(a attr.Attribute, payload []byte) (*wire.Deposi
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	nonce, err := attr.NewNonce(d.rand)
+	nonce, err := d.nonceFor(a)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package ec
+
+import "math/big"
+
+// Comb is a fixed-base precomputation table: for a base point B of the
+// order-q subgroup it stores every odd multiple each fixed window of the
+// signed recoding (secret.go) can select, pre-shifted by the window's bit
+// position —
+//
+//	tbl[i][j] = (2j+1)·2^(w·i)·B
+//
+// so evaluating k·B is one table selection per window and one group
+// addition between them: no doublings at all, against w doublings plus
+// one addition per window for the variable-base path. The schedule is
+// scalar independent (same digit count, every digit non-zero), so Mul is
+// safe for secret scalars and is the fast path for the hot fixed bases:
+// the generator P (Encapsulate's U = rP, Setup's sP) via System.G1Comb.
+//
+// Build cost is ~n·(w+1) doublings + n·(2^(w−1)−1) additions — two or
+// three plain scalar multiplications — paid once per process per base.
+// Entries stay in Jacobian form; a Comb is immutable after NewComb and
+// safe for concurrent use.
+type Comb struct {
+	c    *Curve
+	base Point
+	tbl  [][]jacPoint
+}
+
+// NewComb builds the table for one base point. The base must lie in the
+// order-q subgroup for Mul's scalar normalization to be sound (see
+// ScalarMultSecret).
+func (c *Curve) NewComb(base Point) *Comb {
+	t := &Comb{c: c, base: base}
+	if base.Inf {
+		return t
+	}
+	n := c.secretDigits()
+	t.tbl = make([][]jacPoint, n)
+	b := c.toJacobian(base)
+	for i := 0; i < n; i++ {
+		t.tbl[i] = c.oddMultiples(b)
+		for s := 0; s < secretWindow; s++ {
+			b = c.jacDouble(b)
+		}
+	}
+	return t
+}
+
+// Base returns the point the table was built for.
+func (t *Comb) Base() Point { return t.base }
+
+// Mul returns k·base with a scalar-independent operation schedule:
+// secretDigits() table selections and secretDigits()−1 additions for
+// every k. Suitable for secret scalars.
+func (t *Comb) Mul(k *big.Int) Point {
+	if t.base.Inf {
+		return t.c.Infinity()
+	}
+	c := t.c
+	kn := c.normalizeSecretScalar(k)
+	digits := recodeSigned(kn, secretWindow, c.secretDigits())
+	r := selectSigned(t.tbl[0], digits[0])
+	for i := 1; i < len(digits); i++ {
+		r = c.jacAdd(r, selectSigned(t.tbl[i], digits[i]))
+	}
+	return c.fromJacobian(r)
+}

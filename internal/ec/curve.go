@@ -135,9 +135,58 @@ func (c *Curve) Double(p Point) Point {
 // Sub returns p − q.
 func (c *Curve) Sub(p, q Point) Point { return c.Add(p, q.Neg()) }
 
-// ScalarMult returns k·p for any integer k (negative k uses −p). It
-// delegates to Jacobian coordinates to avoid a field inversion per bit.
+// ScalarMult returns k·p for any integer k (negative k uses −p), using a
+// width-4 sliding window over Jacobian coordinates: odd multiples up to
+// 15p are precomputed, then each window of set bits costs one addition
+// instead of one per bit. The bit scan branches on the scalar, so the
+// running time leaks its pattern — acceptable only for PUBLIC scalars
+// (cofactor, group order, signature challenges, Lagrange coefficients).
+// Secret scalars must go through ScalarMultSecret or a Comb; the mwslint
+// vartime analyzer enforces that split.
 func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
+	if p.Inf || k.Sign() == 0 {
+		return c.Infinity()
+	}
+	kk := k
+	if k.Sign() < 0 {
+		kk = new(big.Int).Neg(k)
+		p = p.Neg()
+	}
+	const w = 4
+	tbl := c.oddMultiples(c.toJacobian(p))
+	r := c.jacInfinity()
+	i := kk.BitLen() - 1
+	for i >= 0 {
+		if kk.Bit(i) == 0 {
+			r = c.jacDouble(r)
+			i--
+			continue
+		}
+		// Take the widest window [l, i] (≤ w bits) ending in a set bit, so
+		// its value is odd and selects a precomputed multiple directly.
+		l := i - w + 1
+		if l < 0 {
+			l = 0
+		}
+		for kk.Bit(l) == 0 {
+			l++
+		}
+		var val uint
+		for j := i; j >= l; j-- {
+			r = c.jacDouble(r)
+			val = val<<1 | kk.Bit(j)
+		}
+		r = c.jacAdd(r, tbl[(val-1)/2])
+		i = l - 1
+	}
+	return c.fromJacobian(r)
+}
+
+// scalarMultBinary is the textbook double-and-add ScalarMult replaced.
+// It survives unexported as the independent reference the multiplier
+// cross-check tests compare ScalarMult, ScalarMultSecret, and Comb.Mul
+// against.
+func (c *Curve) scalarMultBinary(p Point, k *big.Int) Point {
 	if p.Inf || k.Sign() == 0 {
 		return c.Infinity()
 	}
@@ -206,6 +255,23 @@ func (c *Curve) PointFromBytes(b []byte) (Point, error) {
 		return Point{}, err
 	}
 	return c.NewPoint(x, y)
+}
+
+// SubgroupPointFromBytes decodes like PointFromBytes and additionally
+// rejects finite points outside the order-q subgroup. Wire boundaries
+// where attacker-supplied bytes become group elements that later meet
+// secret material (decapsulation points, signature points, trapdoors)
+// must use this decoder: an off-subgroup point fed into a pairing with a
+// private key is the classic invalid-point/small-subgroup probe.
+func (c *Curve) SubgroupPointFromBytes(b []byte) (Point, error) {
+	p, err := c.PointFromBytes(b)
+	if err != nil {
+		return Point{}, err
+	}
+	if !c.ScalarBaseOrderCheck(p) {
+		return Point{}, errors.New("ec: point not in the order-q subgroup")
+	}
+	return p, nil
 }
 
 // PointByteLen returns the length of an affine point encoding.

@@ -1,0 +1,127 @@
+package ec
+
+import (
+	"math/big"
+
+	"mwskit/internal/ff"
+)
+
+// This file implements the constant-time scalar-multiplication path for
+// secret scalars (the PKG master key s, per-message encapsulation
+// randomness r, threshold shares f(i)). The plain ScalarMult in curve.go
+// branches per bit of the scalar, so its group-operation sequence — and
+// therefore its running time — is a function of the scalar's bit pattern;
+// fine for public scalars (cofactor, group order, signature challenges),
+// disqualifying for secrets.
+//
+// The approach is a fixed-window multiplication over a signed odd-digit
+// recoding (Joye–Tunstall): a scalar normalized to an odd representative
+// decomposes into exactly secretDigits() digits, every digit odd and
+// non-zero, so evaluation executes the same sequence of doublings and
+// additions for every scalar of a given curve. Digit values select from a
+// precomputed table of odd multiples; the sign is applied by negating the
+// table entry's y coordinate, with both candidates materialized before an
+// arithmetic (branch-free) index chooses one.
+//
+// Scope of the guarantee: the *group-operation schedule* is scalar
+// independent. The underlying field arithmetic is math/big, whose
+// limb-level timing varies with operand values; that residual channel is
+// orders of magnitude below the per-bit branch the schedule removes and is
+// documented as out of scope in DESIGN.md §9.
+//
+// The same recoding drives the fixed-base Comb in comb.go.
+
+// secretWindow is the fixed window width in bits. Four is the sweet spot
+// for the preset sizes: 8 precomputed points per (table, window) against
+// one addition per 4 bits of scalar.
+const secretWindow = 4
+
+// secretDigits returns the number of signed digits a normalized scalar
+// decomposes into for this curve: enough windows to cover scalars up to
+// 3q (see normalizeSecretScalar) plus the final carry digit.
+func (c *Curve) secretDigits() int {
+	return (c.Q.BitLen()+2+secretWindow-1)/secretWindow + 1
+}
+
+// normalizeSecretScalar maps any integer k to an odd representative of
+// k mod q in (0, 3q]: reduce into [0, q), then add q if the result is
+// even and 2q if it is odd (q is an odd prime, so exactly one of the two
+// shifts lands odd — and the shift amount is the low bit itself, no
+// branch). Oddness is what guarantees the signed recoding below has no
+// zero digits; the fixed (0, 3q] range is what pins the digit count.
+// Valid only for points of order dividing q, for which adding multiples
+// of q to the scalar does not change the product.
+func (c *Curve) normalizeSecretScalar(k *big.Int) *big.Int {
+	kn := new(big.Int).Mod(k, c.Q)
+	return kn.Add(kn, new(big.Int).Lsh(c.Q, kn.Bit(0)))
+}
+
+// recodeSigned decomposes an odd k > 0 into exactly n signed digits with
+// k = Σ d[i]·2^(w·i), every d[i] odd and |d[i]| < 2^w. Each step takes
+// m = k mod 2^(w+1) (odd, since k stays odd), emits d = m − 2^w (odd,
+// non-zero), and updates k ← (k − d)/2^w, which is odd again; the loop
+// runs a fixed n−1 iterations and the remainder — always 1 or 3 for a
+// normalized scalar — is the top digit.
+func recodeSigned(k *big.Int, w uint, n int) []int64 {
+	kk := new(big.Int).Set(k)
+	d := make([]int64, n)
+	mask := big.NewInt(int64(1)<<(w+1) - 1)
+	half := int64(1) << w
+	m := new(big.Int)
+	di := new(big.Int)
+	for i := 0; i < n-1; i++ {
+		d[i] = m.And(kk, mask).Int64() - half
+		kk.Sub(kk, di.SetInt64(d[i]))
+		kk.Rsh(kk, w)
+	}
+	d[n-1] = kk.Int64()
+	return d
+}
+
+// selectSigned returns d·P for an odd digit d, where tbl[j] = (2j+1)·P.
+// Both sign candidates are computed before an arithmetic index picks one,
+// so the selection itself adds no branch on the digit's sign.
+func selectSigned(tbl []jacPoint, d int64) jacPoint {
+	m := d >> 63 // all ones iff d < 0
+	abs := (d ^ m) - m
+	e := tbl[(abs-1)>>1]
+	ys := [2]ff.Element{e.y, e.y.Neg()}
+	return jacPoint{x: e.x, y: ys[m&1], z: e.z}
+}
+
+// oddMultiples fills a table tbl[j] = (2j+1)·base of the 2^(w−1) odd
+// multiples a fixed window of width w can select.
+func (c *Curve) oddMultiples(base jacPoint) []jacPoint {
+	tbl := make([]jacPoint, 1<<(secretWindow-1))
+	tbl[0] = base
+	twice := c.jacDouble(base)
+	for j := 1; j < len(tbl); j++ {
+		tbl[j] = c.jacAdd(tbl[j-1], twice)
+	}
+	return tbl
+}
+
+// ScalarMultSecret returns k·p for a point p of the order-q subgroup,
+// executing a scalar-independent sequence of group operations: the same
+// count of doublings, additions, and table selections for every k. Use it
+// whenever the scalar is secret (master keys, encapsulation randomness,
+// threshold shares); for public scalars ScalarMult is faster. p must lie
+// in the order-q subgroup (everywhere a secret scalar arises in this
+// codebase the base point does); for points outside it the result is
+// (k mod q + {q,2q})·p, which is not k·p.
+func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point {
+	if p.Inf {
+		return c.Infinity()
+	}
+	kn := c.normalizeSecretScalar(k)
+	digits := recodeSigned(kn, secretWindow, c.secretDigits())
+	tbl := c.oddMultiples(c.toJacobian(p))
+	r := selectSigned(tbl, digits[len(digits)-1])
+	for i := len(digits) - 2; i >= 0; i-- {
+		for s := 0; s < secretWindow; s++ {
+			r = c.jacDouble(r)
+		}
+		r = c.jacAdd(r, selectSigned(tbl, digits[i]))
+	}
+	return c.fromJacobian(r)
+}

@@ -51,12 +51,15 @@ func Sign(p *bfibe.Params, sk *bfibe.PrivateKey, msg []byte, rng io.Reader) (*Si
 	if err != nil {
 		return nil, err
 	}
-	u := p.Sys.Curve.ScalarMult(q, r)
+	// Both multiplications involve secrets — r blinds the signature and
+	// r+h multiplies the private key — so they take the constant-schedule
+	// path.
+	u := p.Sys.Curve.ScalarMultSecret(q, r)
 	h := challenge(p, msg, u)
 	// V = (r + h)·d_ID
 	rPlusH := new(big.Int).Add(r, h)
 	rPlusH.Mod(rPlusH, p.Sys.Curve.Q)
-	v := p.Sys.Curve.ScalarMult(sk.D, rPlusH)
+	v := p.Sys.Curve.ScalarMultSecret(sk.D, rPlusH)
 	return &Signature{U: u, V: v}, nil
 }
 
@@ -105,11 +108,11 @@ func Unmarshal(p *bfibe.Params, b []byte) (*Signature, error) {
 	if n < 0 || len(b)-4 < n {
 		return nil, errors.New("ibs: truncated signature body")
 	}
-	u, err := p.Sys.Curve.PointFromBytes(b[4 : 4+n])
+	u, err := p.Sys.Curve.SubgroupPointFromBytes(b[4 : 4+n])
 	if err != nil {
 		return nil, fmt.Errorf("ibs: U: %w", err)
 	}
-	v, err := p.Sys.Curve.PointFromBytes(b[4+n:])
+	v, err := p.Sys.Curve.SubgroupPointFromBytes(b[4+n:])
 	if err != nil {
 		return nil, fmt.Errorf("ibs: V: %w", err)
 	}

@@ -144,6 +144,16 @@ func TestKeyZeroFixture(t *testing.T) {
 	)
 }
 
+func TestVarTimeFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/vartime/ec",
+		"./testdata/src/vartime/pairing",
+		"./testdata/src/vartime/bfibe",
+		"./testdata/src/vartime/tpkg",
+		"./testdata/src/vartime/use",
+	)
+}
+
 // TestFixtureWantsAreExercised guards the harness itself: a fixture with
 // no want comments would vacuously pass, so assert each fixture carries
 // at least one expectation.
@@ -157,6 +167,7 @@ func TestFixtureWantsAreExercised(t *testing.T) {
 		{"./testdata/src/plainflow/symenc", "./testdata/src/plainflow/store", "./testdata/src/plainflow/wire", "./testdata/src/plainflow/mws"},
 		{"./testdata/src/noncereuse/symenc", "./testdata/src/noncereuse/enc"},
 		{"./testdata/src/keyzero/kdf", "./testdata/src/keyzero/symenc", "./testdata/src/keyzero/ticket"},
+		{"./testdata/src/vartime/ec", "./testdata/src/vartime/pairing", "./testdata/src/vartime/bfibe", "./testdata/src/vartime/tpkg", "./testdata/src/vartime/use"},
 	} {
 		prog := loadFixture(t, patterns...)
 		if len(collectWants(t, prog)) == 0 {

@@ -109,6 +109,7 @@ func DefaultAnalyzers() []*Analyzer {
 		PlainFlow,
 		NonceReuse,
 		KeyZero,
+		VarTime,
 	}
 }
 

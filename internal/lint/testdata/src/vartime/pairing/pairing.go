@@ -1,0 +1,28 @@
+// Package pairing is a mwslint fixture stand-in for the pairing system:
+// the RandomScalar source.
+package pairing
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+
+	"mwskit/internal/lint/testdata/src/vartime/ec"
+)
+
+// System bundles the curve and generator.
+type System struct {
+	Curve *ec.Curve
+	g     ec.Point
+}
+
+// G1 returns the generator.
+func (s *System) G1() ec.Point { return s.g }
+
+// G1Comb returns a fixed-base table for the generator.
+func (s *System) G1Comb() *ec.Comb { return s.Curve.NewComb(s.g) }
+
+// RandomScalar draws a secret scalar: the vartime source.
+func (s *System) RandomScalar(r io.Reader) (*big.Int, error) {
+	return rand.Int(r, s.Curve.Q)
+}

@@ -1,0 +1,73 @@
+// Package use is a mwslint fixture for the vartime analyzer: fresh
+// RandomScalar randomness flowing into the variable-time multiplier,
+// against the sanctioned constant-time routes.
+package use
+
+import (
+	"crypto/rand"
+	"math/big"
+
+	"mwskit/internal/lint/testdata/src/vartime/ec"
+	"mwskit/internal/lint/testdata/src/vartime/pairing"
+)
+
+// EncapsulateBad computes U = rP on the variable-time path.
+func EncapsulateBad(sys *pairing.System) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	return sys.Curve.ScalarMult(sys.G1(), r), nil // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult"
+}
+
+// EncapsulateSecret uses the constant-schedule multiplier: clean.
+func EncapsulateSecret(sys *pairing.System) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	return sys.Curve.ScalarMultSecret(sys.G1(), r), nil
+}
+
+// EncapsulateComb uses the fixed-base table: clean.
+func EncapsulateComb(sys *pairing.System) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	return sys.G1Comb().Mul(r), nil
+}
+
+// VerifyPublic multiplies by a public hash-derived challenge: clean, the
+// variable-time multiplier exists for exactly this.
+func VerifyPublic(sys *pairing.System, h *big.Int) ec.Point {
+	return sys.Curve.ScalarMult(sys.G1(), h)
+}
+
+// SignDerived mimics the IBS shape: the challenge scalar is derived
+// from U = rP, but U came off the constant-time multiplier, which
+// sanitizes the flow — re-multiplying by the public challenge on the
+// variable-time path is clean.
+func SignDerived(sys *pairing.System) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	u := sys.Curve.ScalarMultSecret(sys.G1(), r)
+	h := new(big.Int).Set(u.X)
+	return sys.Curve.ScalarMult(sys.G1(), h), nil
+}
+
+// mulVia is an innocent-looking helper; taint arrives via its caller.
+func mulVia(sys *pairing.System, k *big.Int) ec.Point {
+	return sys.Curve.ScalarMult(sys.G1(), k) // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult"
+}
+
+// EncapsulateLaundered routes the secret through mulVia.
+func EncapsulateLaundered(sys *pairing.System) (ec.Point, error) {
+	r, err := sys.RandomScalar(rand.Reader)
+	if err != nil {
+		return ec.Point{}, err
+	}
+	return mulVia(sys, r), nil
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// VarTime enforces the constant-time discipline around scalar
+// multiplication (PAPER.md §IV: the master secret s and the per-message
+// randomness r are the values whose leak breaks every confidentiality
+// claim at once). ec.ScalarMult runs a variable-time sliding window —
+// its running time depends on the scalar's bit pattern — so a secret
+// scalar reaching it is a remote timing side channel. The analyzer
+// taints RandomScalar results, the IBE master key, and threshold-PKG
+// share scalars, and flags any flow into ScalarMult's scalar parameter;
+// the fixes are ec.ScalarMultSecret (arbitrary base) or a fixed-base
+// ec.Comb.
+var VarTime = &Analyzer{
+	Name: "vartime",
+	Doc: "flags secret scalars (RandomScalar results, the IBE master key, tpkg share " +
+		"scalars) flowing into the variable-time ec.ScalarMult; secret scalars must use " +
+		"ScalarMultSecret or a fixed-base Comb",
+	RunProgram: runVarTime,
+}
+
+// vartime source labels.
+const (
+	vartimeRandom = iota // a pairing.RandomScalar result
+	vartimeMaster        // the bfibe master secret
+	vartimeShare         // a tpkg share scalar
+)
+
+// vartimeMask selects every vartime label at the sink.
+var vartimeMask = srcLabel(vartimeRandom) | srcLabel(vartimeMaster) | srcLabel(vartimeShare)
+
+func runVarTime(pass *ProgramPass) {
+	runTaint(pass, &taintSpec{
+		name: "vartime",
+		labelDesc: []string{
+			vartimeRandom: "a secret scalar drawn by RandomScalar",
+			vartimeMaster: "the IBE master secret",
+			vartimeShare:  "a threshold-PKG share scalar",
+		},
+		seedParam:  vartimeSeedParam,
+		sourceCall: vartimeSourceCall,
+		sanitizes:  vartimeSanitizes,
+		sinkCall:   vartimeSinkCall,
+	})
+}
+
+// vartimeSeedParam taints parameters (and receivers) that carry long-term
+// secret scalars by type: bfibe.MasterKey holds s, tpkg.Share holds f(i).
+func vartimeSeedParam(_ *types.Func, v *types.Var) labels {
+	switch {
+	case typeIsNamed(v.Type(), "bfibe", "MasterKey"):
+		return srcLabel(vartimeMaster)
+	case typeIsNamed(v.Type(), "tpkg", "Share"):
+		return srcLabel(vartimeShare)
+	}
+	return 0
+}
+
+// vartimeSourceCall labels the scalar RandomScalar returns: it becomes
+// the encapsulation randomness r (or the master secret at Setup), secret
+// either way.
+func vartimeSourceCall(callee *types.Func) map[int]labels {
+	if callee.Name() == "RandomScalar" && calleePkgEndsIn(callee, "pairing") {
+		return map[int]labels{0: srcLabel(vartimeRandom)}
+	}
+	return nil
+}
+
+// vartimeSinkCall marks the scalar parameter of the variable-time
+// multiplier. ScalarMultSecret and Comb.Mul are deliberately not sinks —
+// they are the sanctioned destinations.
+func vartimeSinkCall(_ *sinkCtx, callee *types.Func) []sinkArg {
+	if callee.Name() != "ScalarMult" || !calleePkgEndsIn(callee, "ec") {
+		return nil
+	}
+	sig := calleeSig(callee)
+	if sig == nil || sig.Recv() == nil || sig.Params().Len() != 2 {
+		return nil
+	}
+	return []sinkArg{{param: 1, mask: vartimeMask,
+		message: "%s reaches the variable-time ScalarMult; use ScalarMultSecret or a fixed-base Comb for secret scalars"}}
+}
+
+// vartimeSanitizes treats the constant-time multipliers as taint
+// boundaries. Their result is a curve point computed on the sanctioned
+// schedule; values later derived from that point — the IBS challenge
+// hashed over U = rP, a wire encoding — are public group elements, not
+// secret scalars, and must not keep the scalar's label (otherwise every
+// verification path that re-multiplies by a hash of U reads as a
+// violation).
+func vartimeSanitizes(callee *types.Func) bool {
+	if !calleePkgEndsIn(callee, "ec") {
+		return false
+	}
+	sig := calleeSig(callee)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	switch callee.Name() {
+	case "ScalarMultSecret":
+		return true
+	case "Mul":
+		return typeIsNamed(sig.Recv().Type(), "ec", "Comb")
+	}
+	return false
+}
+
+// typeIsNamed reports whether t is (a pointer to, or a slice of) the
+// named type pkgTail.name, matching the declaring package by its import
+// path's final segment.
+func typeIsNamed(t types.Type, pkgTail, name string) bool {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Slice:
+			t = v.Elem()
+		case *types.Named:
+			obj := v.Obj()
+			return obj.Name() == name && obj.Pkg() != nil && pathEndsIn(obj.Pkg().Path(), pkgTail)
+		default:
+			return false
+		}
+	}
+}

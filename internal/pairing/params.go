@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"mwskit/internal/ec"
 	"mwskit/internal/ff"
@@ -53,10 +54,13 @@ func (pp *Params) Validate() error {
 }
 
 // System is the runtime form of Params: the instantiated field, curve and
-// pairing, plus the decoded generator. Immutable and concurrency-safe.
+// pairing, plus the decoded generator. Immutable (the comb table is
+// built at most once) and concurrency-safe.
 type System struct {
 	*Pairing
-	g ec.Point
+	g        ec.Point
+	combOnce sync.Once
+	comb     *ec.Comb
 }
 
 // System instantiates the runtime objects for the parameter set.
@@ -88,19 +92,26 @@ func (pp *Params) MustSystem() *System {
 // G1 returns the subgroup generator (the paper's base point P).
 func (s *System) G1() ec.Point { return s.g }
 
-// RandomScalar returns a uniformly random non-zero scalar in [1, q).
+// G1Comb returns the fixed-base precomputation table for the generator,
+// built on first use and shared by every caller thereafter. It backs the
+// hot fixed-base multiplications (Encapsulate's U = rP, Setup's sP) with
+// a scalar-independent schedule; long-lived components (devices, the
+// PKG) touch it at construction so the one-time build cost never lands
+// on a deposit.
+func (s *System) G1Comb() *ec.Comb {
+	s.combOnce.Do(func() { s.comb = s.Curve.NewComb(s.g) })
+	return s.comb
+}
+
+// RandomScalar returns a uniformly random scalar in [1, q−1]: rand.Int
+// draws uniformly from [0, q−2] and the +1 shifts the range, so the
+// result is non-zero by construction and no rejection loop is needed.
 func (s *System) RandomScalar(r io.Reader) (*big.Int, error) {
-	qm1 := new(big.Int).Sub(s.Curve.Q, big.NewInt(1))
-	for {
-		k, err := rand.Int(r, qm1)
-		if err != nil {
-			return nil, err
-		}
-		k.Add(k, big.NewInt(1))
-		if k.Sign() > 0 {
-			return k, nil
-		}
+	k, err := rand.Int(r, new(big.Int).Sub(s.Curve.Q, big.NewInt(1)))
+	if err != nil {
+		return nil, err
 	}
+	return k.Add(k, big.NewInt(1)), nil
 }
 
 // Generate produces a fresh parameter set with a qBits-bit subgroup order

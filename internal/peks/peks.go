@@ -64,7 +64,10 @@ func NewTag(p *bfibe.Params, keyword string, rng io.Reader) (*Tag, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := p.Sys.Curve.ScalarMult(p.Sys.G1(), r)
+	// r is secret (it binds the tag to the keyword), and U = rP is a
+	// fixed-base multiplication — the shared comb gives both the
+	// constant schedule and the speedup.
+	u := p.Sys.G1Comb().Mul(r)
 	t := p.Sys.Pair(qw, p.PPub).Exp(r)
 	return &Tag{U: u, C: kdf.Stream("mwskit/peks/h/v1", t.Bytes(), tagHashLen)}, nil
 }
@@ -120,7 +123,7 @@ func UnmarshalTag(p *bfibe.Params, b []byte) (*Tag, error) {
 	if n < 0 || len(b)-4 < n {
 		return nil, errors.New("peks: truncated tag point")
 	}
-	u, err := p.Sys.Curve.PointFromBytes(b[4 : 4+n])
+	u, err := p.Sys.Curve.SubgroupPointFromBytes(b[4 : 4+n])
 	if err != nil {
 		return nil, fmt.Errorf("peks: tag point: %w", err)
 	}
@@ -139,7 +142,7 @@ func MarshalTrapdoor(p *bfibe.Params, td *Trapdoor) []byte {
 
 // UnmarshalTrapdoor decodes and validates a trapdoor.
 func UnmarshalTrapdoor(p *bfibe.Params, b []byte) (*Trapdoor, error) {
-	t, err := p.Sys.Curve.PointFromBytes(b)
+	t, err := p.Sys.Curve.SubgroupPointFromBytes(b)
 	if err != nil {
 		return nil, fmt.Errorf("peks: trapdoor: %w", err)
 	}

@@ -1,0 +1,114 @@
+package rclient
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/bfibe"
+	"mwskit/internal/symenc"
+	"mwskit/internal/wire"
+)
+
+// buildRetrieval assembles an offline Retrieval of n messages with
+// distinct identities plus the key map FetchKeys would have produced.
+func buildRetrieval(t *testing.T, n int) (*Client, *Retrieval, map[keyIndex]*bfibe.PrivateKey, [][]byte) {
+	t.Helper()
+	params, master, rsaKey := env(t)
+	c, err := New("rc", []byte("pw"), rsaKey, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := symenc.Default()
+	r := &Retrieval{}
+	keys := make(map[keyIndex]*bfibe.PrivateKey)
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		payloads[i] = []byte(fmt.Sprintf("reading-%d", i))
+		a := attr.Attribute("ELECTRIC-X")
+		nonce, err := attr.NewNonce(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identity := attr.Identity(a, nonce)
+		enc, key, err := params.Encapsulate(identity, scheme.KeyLen(), rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := bfibe.MarshalEncapsulation(params, enc)
+		aad := wire.MessageAAD("meter", 1278000000, nonce[:], u)
+		ct, err := scheme.Seal(key, payloads[i], aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := master.Extract(params, identity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aid := uint64(i % 3) // a few AIDs, distinct nonces
+		r.Items = append(r.Items, Envelope{
+			Seq:        uint64(i),
+			AID:        aid,
+			Nonce:      nonce[:],
+			U:          u,
+			Ciphertext: ct,
+			Scheme:     scheme.Name(),
+			DeviceID:   "meter",
+			Timestamp:  1278000000,
+		})
+		keys[keyIndexOf(aid, nonce[:])] = sk
+	}
+	return c, r, keys, payloads
+}
+
+func TestDecryptRetrievalParallelOrder(t *testing.T) {
+	c, r, keys, payloads := buildRetrieval(t, 16)
+	msgs, err := c.DecryptRetrieval(context.Background(), r, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != len(payloads) {
+		t.Fatalf("got %d messages, want %d", len(msgs), len(payloads))
+	}
+	for i, m := range msgs {
+		if m == nil {
+			t.Fatalf("message %d missing", i)
+		}
+		if m.Seq != uint64(i) || !bytes.Equal(m.Payload, payloads[i]) {
+			t.Fatalf("message %d out of order or corrupted: %+v", i, m)
+		}
+	}
+
+	empty, err := c.DecryptRetrieval(context.Background(), &Retrieval{}, keys)
+	if err != nil || empty != nil {
+		t.Fatalf("empty retrieval: %v, %v", empty, err)
+	}
+}
+
+func TestDecryptRetrievalMissingKey(t *testing.T) {
+	c, r, keys, _ := buildRetrieval(t, 4)
+	delete(keys, keyIndexOf(r.Items[2].AID, r.Items[2].Nonce))
+	if _, err := c.DecryptRetrieval(context.Background(), r, keys); err == nil {
+		t.Fatal("missing key did not fail the batch")
+	}
+}
+
+func TestDecryptRetrievalCanceled(t *testing.T) {
+	c, r, keys, _ := buildRetrieval(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.DecryptRetrieval(ctx, r, keys); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}
+
+func TestDecryptRetrievalBadCiphertextFails(t *testing.T) {
+	c, r, keys, _ := buildRetrieval(t, 6)
+	r.Items[3].Ciphertext[0] ^= 1
+	if _, err := c.DecryptRetrieval(context.Background(), r, keys); err == nil {
+		t.Fatal("tampered ciphertext did not fail the batch")
+	}
+}

@@ -10,10 +10,13 @@
 package rclient
 
 import (
+	"context"
 	"crypto/rsa"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"mwskit/internal/attr"
@@ -211,9 +214,79 @@ func (c *Client) Decrypt(env *Envelope, sk *bfibe.PrivateKey) (*Message, error) 
 	}, nil
 }
 
+// DecryptRetrieval decrypts every message in a retrieval with the
+// extracted keys, in deposit order, fanning the per-message pairing work
+// across a GOMAXPROCS-wide worker pool. Each decapsulation is an
+// independent pairing plus an AEAD open, so a batch of n messages on w
+// cores finishes in ~n/w pairing times. The first failure (a missing
+// key, a bad point, a forged ciphertext) cancels the remaining work.
+func (c *Client) DecryptRetrieval(ctx context.Context, r *Retrieval, keys map[keyIndex]*bfibe.PrivateKey) ([]*Message, error) {
+	if len(r.Items) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(r.Items) {
+		workers = len(r.Items)
+	}
+	out := make([]*Message, len(r.Items))
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				env := &r.Items[i]
+				sk, ok := keys[keyIndexOf(env.AID, env.Nonce)]
+				if !ok {
+					fail(fmt.Errorf("rclient: missing key for message %d", env.Seq))
+					return
+				}
+				m, err := c.Decrypt(env, sk)
+				if err != nil {
+					fail(err)
+					return
+				}
+				out[i] = m
+			}
+		}()
+	}
+feed:
+	for i := range r.Items {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // RetrieveAndDecrypt runs the full client pipeline: MWS retrieval, PKG
-// key extraction, and message decryption, returning plaintext messages in
-// deposit order.
+// key extraction, and parallel message decryption, returning plaintext
+// messages in deposit order.
 func (c *Client) RetrieveAndDecrypt(mws, pkg *wire.Client, fromSeq uint64, limit uint32) ([]*Message, error) {
 	r, err := c.Retrieve(mws, fromSeq, limit)
 	if err != nil {
@@ -226,20 +299,8 @@ func (c *Client) RetrieveAndDecrypt(mws, pkg *wire.Client, fromSeq uint64, limit
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Message, 0, len(r.Items))
-	for i := range r.Items {
-		env := &r.Items[i]
-		sk, ok := keys[keyIndexOf(env.AID, env.Nonce)]
-		if !ok {
-			return nil, fmt.Errorf("rclient: missing key for message %d", env.Seq)
-		}
-		m, err := c.Decrypt(env, sk)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
-	}
-	return out, nil
+	//mwslint:ignore ctxflow context-free convenience wrapper; cancellation-aware callers use DecryptRetrieval directly
+	return c.DecryptRetrieval(context.Background(), r, keys)
 }
 
 // keyIndex identifies a private key by (AID, nonce).

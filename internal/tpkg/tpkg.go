@@ -83,7 +83,9 @@ func (sh Share) PartialExtract(p *bfibe.Params, identity []byte) (Partial, error
 	if err != nil {
 		return Partial{}, err
 	}
-	return Partial{Index: sh.Index, Point: p.Sys.Curve.ScalarMult(q, sh.Scalar)}, nil
+	// The share scalar f(i) is secret key material: a timing leak here is
+	// as damaging as one in the monolithic PKG's Extract.
+	return Partial{Index: sh.Index, Point: p.Sys.Curve.ScalarMultSecret(q, sh.Scalar)}, nil
 }
 
 // Combine assembles t partials into the identity's private key. The
@@ -149,7 +151,7 @@ func lagrangeAtZero(partials []Partial, i int, q *big.Int) *big.Int {
 func VerifyAgainstMaster(p *bfibe.Params, shares []Share) error {
 	partials := make([]Partial, len(shares))
 	for i, sh := range shares {
-		partials[i] = Partial{Index: sh.Index, Point: p.Sys.Curve.ScalarMult(p.Sys.G1(), sh.Scalar)}
+		partials[i] = Partial{Index: sh.Index, Point: p.Sys.G1Comb().Mul(sh.Scalar)}
 	}
 	acc := p.Sys.Curve.Infinity()
 	order := p.Sys.Curve.Q

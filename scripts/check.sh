@@ -28,3 +28,11 @@ if [ "$mwslint_elapsed" -gt 30 ]; then
 fi
 
 go test -race ./...
+
+# Opt-in hot-path benchmark: MWSBENCH=1 runs the end-to-end load
+# generator (phase 0 offline microbenchmarks included) and writes
+# BENCH_PR5.json. Off by default — it adds minutes on the bf80 preset.
+if [ "${MWSBENCH:-0}" = "1" ]; then
+	go run ./cmd/mwsbench -preset "${MWSBENCH_PRESET:-test}" -meters 10 \
+		-messages 120 -nonce-epoch 64 -json BENCH_PR5.json
+fi
