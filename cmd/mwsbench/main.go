@@ -18,6 +18,7 @@ import (
 	"mwskit/internal/core"
 	"mwskit/internal/device"
 	"mwskit/internal/metrics"
+	"mwskit/internal/obsv"
 	"mwskit/internal/rclient"
 	"mwskit/internal/sim"
 	"mwskit/internal/wal"
@@ -33,6 +34,7 @@ type benchReport struct {
 	NonceEpoch int              `json:"nonce_epoch"`
 	Micro      microResults     `json:"micro"`
 	Deposit    depositResult    `json:"deposit"`
+	Counters   counterResult    `json:"deposit_counters"`
 	Retrieve   []retrieveResult `json:"retrieve"`
 }
 
@@ -49,6 +51,48 @@ type retrieveResult struct {
 	Company   string  `json:"company"`
 	Messages  int     `json:"messages"`
 	MsgPerSec float64 `json:"msgs_per_sec"`
+}
+
+// counterResult is the crypto-stage telemetry delta across the deposit
+// phase, taken from the obsv process counters (the deployment runs
+// in-process, so client encapsulation and server verification both
+// land in the same counters — exactly the end-to-end cost per message).
+type counterResult struct {
+	Pairings           uint64  `json:"pairings"`
+	PairingsPerDeposit float64 `json:"pairings_per_deposit"`
+	ScalarMultSecret   uint64  `json:"scalar_mult_secret"`
+	ScalarMultPublic   uint64  `json:"scalar_mult_public"`
+	GIDCacheHits       uint64  `json:"gid_cache_hits"`
+	GIDCacheMisses     uint64  `json:"gid_cache_misses"`
+	GIDCacheHitRate    float64 `json:"gid_cache_hit_rate"`
+	WALAppends         uint64  `json:"wal_appends"`
+	WALFsyncs          uint64  `json:"wal_fsyncs"`
+	StoreWriteBytes    uint64  `json:"store_write_bytes"`
+	ConnOutBytes       uint64  `json:"conn_out_bytes"`
+}
+
+// counterDelta reduces two CounterMap samples bracketing the deposit
+// phase into the derived per-message rates.
+func counterDelta(before, after map[string]uint64, messages int) counterResult {
+	d := func(name string) uint64 { return after[name] - before[name] }
+	c := counterResult{
+		Pairings:         d("pairing_ops"),
+		ScalarMultSecret: d("scalar_mult_secret"),
+		ScalarMultPublic: d("scalar_mult_public"),
+		GIDCacheHits:     d("gid_cache_hits"),
+		GIDCacheMisses:   d("gid_cache_misses"),
+		WALAppends:       d("wal_appends"),
+		WALFsyncs:        d("wal_fsyncs"),
+		StoreWriteBytes:  d("store_write_bytes"),
+		ConnOutBytes:     d("conn_out_bytes"),
+	}
+	if messages > 0 {
+		c.PairingsPerDeposit = float64(c.Pairings) / float64(messages)
+	}
+	if lookups := c.GIDCacheHits + c.GIDCacheMisses; lookups > 0 {
+		c.GIDCacheHitRate = float64(c.GIDCacheHits) / float64(lookups)
+	}
+	return c
 }
 
 func main() {
@@ -161,7 +205,9 @@ func main() {
 		rcs[company] = rc
 	}
 
-	// Phase 1: deposits.
+	// Phase 1: deposits. Bracket the phase with counter samples so the
+	// report can state pairings-per-deposit and the g_ID cache hit rate.
+	countersBefore := obsv.CounterMap()
 	depositHist := metrics.NewHistogram()
 	start := time.Now()
 	for i := 0; i < *messages; i++ {
@@ -174,9 +220,15 @@ func main() {
 		})
 	}
 	depositElapsed := time.Since(start)
+	counters := counterDelta(countersBefore, obsv.CounterMap(), *messages)
 	depositSnap := depositHist.Snapshot()
 	fmt.Printf("\nSD–MWS deposit phase:   %s\n", depositSnap)
 	fmt.Printf("  throughput: %.1f msg/s\n", metrics.Throughput(*messages, depositElapsed))
+	fmt.Printf("  pairings: %d (%.2f per deposit)  scalar mults: %d secret / %d public\n",
+		counters.Pairings, counters.PairingsPerDeposit, counters.ScalarMultSecret, counters.ScalarMultPublic)
+	fmt.Printf("  g_ID cache: %d hits / %d misses (%.1f%% hit rate)  wal: %d appends / %d fsyncs\n",
+		counters.GIDCacheHits, counters.GIDCacheMisses, 100*counters.GIDCacheHitRate,
+		counters.WALAppends, counters.WALFsyncs)
 
 	report := benchReport{
 		Preset:     *preset,
@@ -186,6 +238,7 @@ func main() {
 		Messages:   *messages,
 		NonceEpoch: *nonceEpoch,
 		Micro:      micro,
+		Counters:   counters,
 		Deposit: depositResult{
 			Messages:   *messages,
 			MsgPerSec:  metrics.Throughput(*messages, depositElapsed),

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/x509"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"mwskit/internal/device"
+	"mwskit/internal/obsv"
 	"mwskit/internal/rclient"
 	"mwskit/internal/wire"
 )
@@ -44,6 +46,7 @@ func main() {
 	limit := flag.Uint("limit", 0, "maximum messages to fetch (0 = all)")
 	search := flag.String("search", "", "keyword: fetch only messages tagged with this keyword (searchable encryption)")
 	bits := flag.Int("bits", 2048, "RSA key size for keygen")
+	trace := flag.Bool("trace", false, "negotiate wire tracing and stamp the retrieval with a trace ID (query it back via the servers' TTrace or /traces)")
 	flag.Parse()
 
 	if flag.Arg(0) == "keygen" {
@@ -85,9 +88,24 @@ func main() {
 	}
 	defer mwsConn.Close()
 
+	// With -trace, the whole retrieval (MWS retrieve, PKG extract, local
+	// decrypt) runs under one client-generated root span; both servers'
+	// stage spans stitch to its trace ID.
+	ctx := context.Background()
+	var root *obsv.Span
+	if *trace {
+		for _, c := range []*wire.Client{mwsConn, pkgConn} {
+			if _, err := c.EnableTrace(ctx); err != nil {
+				log.Fatalf("trace negotiation: %v", err)
+			}
+		}
+		tracer := obsv.NewTracer("rcclient", 64, 0, nil)
+		ctx, root = tracer.StartRoot(ctx, "rcclient.retrieve")
+	}
+
 	var msgs []*rclient.Message
 	if *search != "" {
-		boot, err := rc.Retrieve(mwsConn, *from, 1)
+		boot, err := rc.RetrieveContext(ctx, mwsConn, *from, 1)
 		if err != nil {
 			log.Fatalf("retrieve: %v", err)
 		}
@@ -99,7 +117,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("search: %v", err)
 		}
-		keys, _, err := rc.FetchKeys(pkgConn, hits)
+		keys, _, err := rc.FetchKeysContext(ctx, pkgConn, hits)
 		if err != nil {
 			log.Fatalf("keys: %v", err)
 		}
@@ -112,10 +130,14 @@ func main() {
 			}
 		}
 	} else {
-		msgs, err = rc.RetrieveAndDecrypt(mwsConn, pkgConn, *from, uint32(*limit))
+		msgs, err = rc.RetrieveAndDecryptContext(ctx, mwsConn, pkgConn, *from, uint32(*limit))
 		if err != nil {
 			log.Fatalf("retrieve: %v", err)
 		}
+	}
+	root.End()
+	if root != nil {
+		defer fmt.Printf("trace id %d\n", root.Context().TraceID)
 	}
 	if len(msgs) == 0 {
 		fmt.Println("no messages")

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 
 	"mwskit/internal/attr"
 	"mwskit/internal/device"
+	"mwskit/internal/obsv"
 	"mwskit/internal/symenc"
 	"mwskit/internal/wire"
 )
@@ -40,6 +42,7 @@ func main() {
 	keywords := flag.String("keywords", "", "comma-separated searchable keywords to tag the message with")
 	schemeName := flag.String("scheme", "AES-128-GCM", "symmetric scheme: "+strings.Join(symenc.Names(), ", "))
 	demo := flag.Bool("demo", false, "interactive mode (Figure 5 equivalent)")
+	trace := flag.Bool("trace", false, "negotiate wire tracing and stamp the deposit with a trace ID (query it back via mwsd's TTrace or /traces)")
 	flag.Parse()
 
 	if *id == "" || *macKeyHex == "" {
@@ -80,17 +83,38 @@ func main() {
 	if *attribute == "" || *message == "" {
 		log.Fatal("-attr and -message are required (or use -demo)")
 	}
+
+	// With -trace, the deposit runs under a client-generated root span
+	// whose trace ID rides the wire to the MWS; the server's stage spans
+	// (decode, auth, replay, store.write, wal.append) stitch to it.
+	ctx := context.Background()
+	var root *obsv.Span
+	if *trace {
+		v2, err := mwsConn.EnableTrace(ctx)
+		if err != nil {
+			log.Fatalf("trace negotiation: %v", err)
+		}
+		if !v2 {
+			log.Print("server does not speak protocol v2; depositing untraced")
+		}
+		tracer := obsv.NewTracer("smartdev", 64, 0, nil)
+		ctx, root = tracer.StartRoot(ctx, "smartdev.deposit")
+	}
 	var seq uint64
 	if *keywords != "" {
 		kws := strings.Split(*keywords, ",")
-		seq, err = sd.DepositTagged(mwsConn, attr.Attribute(*attribute), []byte(*message), kws)
+		seq, err = sd.DepositTaggedContext(ctx, mwsConn, attr.Attribute(*attribute), []byte(*message), kws)
 	} else {
-		seq, err = sd.Deposit(mwsConn, attr.Attribute(*attribute), []byte(*message))
+		seq, err = sd.DepositContext(ctx, mwsConn, attr.Attribute(*attribute), []byte(*message))
 	}
+	root.End()
 	if err != nil {
 		log.Fatalf("deposit: %v", err)
 	}
 	fmt.Printf("deposited message #%d toward %s\n", seq, *attribute)
+	if root != nil {
+		fmt.Printf("trace id %d\n", root.Context().TraceID)
+	}
 }
 
 // runDemo is the text-mode equivalent of the Figure 5 web form: pick an

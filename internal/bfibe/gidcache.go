@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"mwskit/internal/obsv"
 	"mwskit/internal/pairing"
 )
 
@@ -49,13 +50,16 @@ func (c *gidCache) get(id []byte) (pairing.GT, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.byKey == nil {
+		obsv.GIDCacheMiss()
 		return pairing.GT{}, false
 	}
 	el, ok := c.byKey[string(id)]
 	if !ok {
+		obsv.GIDCacheMiss()
 		return pairing.GT{}, false
 	}
 	c.ll.MoveToFront(el)
+	obsv.GIDCacheHit()
 	return el.Value.(*gidEntry).g, true
 }
 
@@ -82,6 +86,7 @@ func (c *gidCache) put(id []byte, g pairing.GT) {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
 		delete(c.byKey, tail.Value.(*gidEntry).key)
+		obsv.GIDCacheEvict()
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"mwskit/internal/keyserver"
 	"mwskit/internal/metrics"
 	"mwskit/internal/mws"
+	"mwskit/internal/obsv"
 	"mwskit/internal/rclient"
 	"mwskit/internal/symenc"
 	"mwskit/internal/wal"
@@ -73,6 +74,11 @@ type DeploymentConfig struct {
 	Now func() time.Time
 	// Logger receives operational logs (nil discards).
 	Logger *slog.Logger
+	// MWSTracer and PKGTracer record request spans for the respective
+	// services (slow-request log, TTrace, debug listener); nil disables
+	// tracing at zero cost.
+	MWSTracer *obsv.Tracer
+	PKGTracer *obsv.Tracer
 }
 
 // Deployment is a co-hosted MWS + PKG pair sharing a ticket key — the
@@ -130,6 +136,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Rand:            cfg.Rand,
 		Now:             cfg.Now,
 		Logger:          cfg.Logger,
+		Tracer:          cfg.PKGTracer,
 	})
 	if err != nil {
 		return nil, err
@@ -143,6 +150,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Rand:            cfg.Rand,
 		Now:             cfg.Now,
 		Logger:          cfg.Logger,
+		Tracer:          cfg.MWSTracer,
 		IBEParams:       p.Params(), // enables IBS-authenticated deposits
 	})
 	if err != nil {

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"mwskit/internal/obsv"
+	"mwskit/internal/wal"
+	"mwskit/internal/wire"
+)
+
+// TestTracePropagationOverTCP is the end-to-end stitching test: a client
+// process generates a trace ID, negotiates protocol v2, and deposits; the
+// server — reached only over a real TCP connection, exactly as a separate
+// mwsd process would be — must record its stage spans under the client's
+// trace ID, queryable back through the TTrace introspection op.
+func TestTracePropagationOverTCP(t *testing.T) {
+	var slowBuf bytes.Buffer
+	slowLog := slog.New(slog.NewTextHandler(&slowBuf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	// 1ns threshold: every request is "slow", so the deposit's span tree
+	// must show up in the dump.
+	mwsTracer := obsv.NewTracer("mws", 256, time.Nanosecond, slowLog)
+
+	dep, err := NewDeployment(DeploymentConfig{
+		Dir:       t.TempDir(),
+		Preset:    "test",
+		Sync:      wal.SyncNever,
+		MWSTracer: mwsTracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close() })
+	if err := dep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mwsConn, _ := dialBoth(t, dep)
+	sd := newTestDevice(t, dep, "meter-trace")
+
+	// Client side: own tracer, own root span — the "other process".
+	ok, err := mwsConn.EnableTrace(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("server rejected protocol v2")
+	}
+	clientTracer := obsv.NewTracer("smartdev", 64, 0, nil)
+	ctx, root := clientTracer.StartRoot(context.Background(), "deposit")
+	if _, err := sd.DepositContext(ctx, mwsConn, "ELECTRIC-APTCOMPLEX-SV-CA", []byte("reading=1")); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	traceID := root.Context().TraceID
+
+	// Query the server's ring back over the same wire connection.
+	resp, err := mwsConn.Do(wire.Frame{Type: wire.TTrace,
+		Payload: (&wire.TraceRequest{TraceID: traceID}).Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TTraceResp {
+		t.Fatalf("response type = %d, want TTraceResp", resp.Type)
+	}
+	tr, err := wire.UnmarshalTraceResponse(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The server-side tree alone must show the named pipeline stages,
+	// each with a measured (non-zero) duration, all under the client's
+	// trace ID.
+	stages := map[string]time.Duration{}
+	for _, s := range tr.Spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span %q carries trace %d, want %d", s.Name, s.TraceID, traceID)
+		}
+		if s.Service != "mws" {
+			t.Fatalf("span %q carries service %q, want mws", s.Name, s.Service)
+		}
+		stages[s.Name] = s.Duration
+	}
+	for _, want := range []string{"Deposit", "auth", "replay", "store.write", "wal.append"} {
+		dur, found := stages[want]
+		if !found {
+			t.Errorf("stage %q missing from TTrace reply (got %v)", want, stages)
+		} else if dur <= 0 {
+			t.Errorf("stage %q has no measured duration", want)
+		}
+	}
+
+	// Stitching: the server's request root must be parented to the
+	// client's rpc.deposit span, not float free.
+	var rpcSpanID uint64
+	for _, s := range clientTracer.Snapshot(0, traceID) {
+		if s.Name == "rpc.deposit" {
+			rpcSpanID = s.SpanID
+		}
+	}
+	if rpcSpanID == 0 {
+		t.Fatal("client tracer recorded no rpc.deposit span")
+	}
+	var serverRootParent uint64
+	for _, s := range tr.Spans {
+		if s.Name == "Deposit" {
+			serverRootParent = s.ParentID
+		}
+	}
+	if serverRootParent != rpcSpanID {
+		t.Errorf("server root parent = %d, want client rpc.deposit span %d", serverRootParent, rpcSpanID)
+	}
+
+	// The slow-request dump (threshold 1ns) must contain the same tree.
+	out := slowBuf.String()
+	for _, want := range []string{"slow request", "store.write", "wal.append"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-request dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUntracedClientUnaffected pins the compatibility half: a plain v1
+// client against a tracer-enabled server deposits fine and leaves no
+// trace-stitched spans (the server may still record its own roots).
+func TestUntracedClientUnaffected(t *testing.T) {
+	mwsTracer := obsv.NewTracer("mws", 64, 0, nil)
+	dep, err := NewDeployment(DeploymentConfig{
+		Dir:       t.TempDir(),
+		Preset:    "test",
+		Sync:      wal.SyncNever,
+		MWSTracer: mwsTracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dep.Close() })
+	if err := dep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mwsConn, _ := dialBoth(t, dep)
+	sd := newTestDevice(t, dep, "meter-v1")
+	if _, err := sd.Deposit(mwsConn, "ELECTRIC-APTCOMPLEX-SV-CA", []byte("reading=2")); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range mwsTracer.Snapshot(0, 0) {
+		if s.Name == "Deposit" && s.ParentID != 0 {
+			t.Errorf("v1 deposit span claims a remote parent: %+v", s)
+		}
+	}
+}

@@ -106,7 +106,7 @@ func (d *Device) DepositBatch(ctx context.Context, mws *wire.Client, items []Bat
 		if err := ctx.Err(); err != nil {
 			return results, err
 		}
-		seq, err := d.send(mws, req)
+		seq, err := d.send(ctx, mws, req)
 		if err != nil {
 			return results, err
 		}

@@ -1,0 +1,73 @@
+package device
+
+import (
+	"context"
+	"crypto/rand"
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+
+	"mwskit/internal/bfibe"
+	"mwskit/internal/obsv"
+	"mwskit/internal/pairing"
+)
+
+var (
+	benchOnce sync.Once
+	benchDev  *Device
+)
+
+// benchDevice builds one warm device (large nonce epoch, so the g_ID
+// cache and nonce are reused across iterations) shared by the prepare
+// benchmarks. It shares the env fixtures with the tests.
+func benchDevice(b *testing.B) *Device {
+	b.Helper()
+	benchOnce.Do(func() {
+		envOnce.Do(func() {
+			sys := pairing.ParamsTest.MustSystem()
+			var err error
+			envP, envM, err = bfibe.Setup(sys, rand.Reader)
+			if err != nil {
+				panic(err)
+			}
+		})
+		d, err := New("bench-meter", testKey(), envP, WithNonceEpoch(1<<20))
+		if err != nil {
+			panic(err)
+		}
+		benchDev = d
+	})
+	return benchDev
+}
+
+// BenchmarkPrepareDepositWarm measures the instrumentation tax on the
+// warm deposit-prep hot path. "untraced" runs with no trace in the
+// context — StartSpan must be a no-op; "traced" runs every prepare under
+// a live root span with an active tracer. The delta between the two is
+// the cost of the telemetry itself (budget: ≤2%, see EXPERIMENTS.md).
+func BenchmarkPrepareDepositWarm(b *testing.B) {
+	d := benchDevice(b)
+	payload := []byte("reading=42.7kWh")
+	b.Run("untraced", func(b *testing.B) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.PrepareDepositContext(ctx, "ELECTRIC-APTCOMPLEX-SV-CA", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		discard := slog.New(slog.NewTextHandler(io.Discard, nil))
+		tracer := obsv.NewTracer("bench", 1024, 0, discard)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, root := tracer.StartRoot(context.Background(), "deposit")
+			if _, err := d.PrepareDepositContext(ctx, "ELECTRIC-APTCOMPLEX-SV-CA", payload); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	})
+}

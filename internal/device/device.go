@@ -12,6 +12,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"mwskit/internal/bfibe"
 	"mwskit/internal/ibs"
 	"mwskit/internal/macauth"
+	"mwskit/internal/obsv"
 	"mwskit/internal/pairing"
 	"mwskit/internal/symenc"
 	"mwskit/internal/wire"
@@ -173,11 +175,27 @@ func (d *Device) Scheme() symenc.Scheme { return d.scheme }
 // from Deposit so benchmarks and offline pipelines can exercise the
 // cryptographic path without a network.
 func (d *Device) PrepareDeposit(a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
-	req, err := d.prepareUnsigned(a, payload)
+	return d.PrepareDepositContext(background(), a, payload)
+}
+
+// background is the shared root for the package's context-free
+// convenience wrappers; cancellation-aware callers use the Context
+// variants directly.
+func background() context.Context {
+	//mwslint:ignore ctxflow single annotated root for the context-free convenience wrappers; request paths use the Context variants
+	return context.Background()
+}
+
+// PrepareDepositContext is PrepareDeposit under a request context: when
+// the context carries a trace span, each cryptographic stage (IBE
+// encapsulation, symmetric seal, authentication) lands as its own child
+// span.
+func (d *Device) PrepareDepositContext(ctx context.Context, a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
+	req, err := d.prepareUnsigned(ctx, a, payload)
 	if err != nil {
 		return nil, err
 	}
-	if err := d.authenticate(req); err != nil {
+	if err := d.authenticate(ctx, req); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -185,7 +203,7 @@ func (d *Device) PrepareDeposit(a attr.Attribute, payload []byte) (*wire.Deposit
 
 // prepareUnsigned builds the deposit envelope without its authenticator,
 // so variants (tagged deposits) can extend the request before signing.
-func (d *Device) prepareUnsigned(a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
+func (d *Device) prepareUnsigned(ctx context.Context, a attr.Attribute, payload []byte) (*wire.DepositRequest, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,14 +212,20 @@ func (d *Device) prepareUnsigned(a attr.Attribute, payload []byte) (*wire.Deposi
 		return nil, err
 	}
 	identity := attr.Identity(a, nonce)
+	_, encSp := obsv.StartSpan(ctx, "ibe.encapsulate")
 	enc, key, err := d.params.Encapsulate(identity, d.scheme.KeyLen(), d.rand)
+	encSp.SetErr(err)
+	encSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("device: encapsulate: %w", err)
 	}
 	u := bfibe.MarshalEncapsulation(d.params, enc)
 	ts := d.now().Unix()
 	aad := wire.MessageAAD(d.id, ts, nonce[:], u)
+	_, sealSp := obsv.StartSpan(ctx, "symenc.seal")
 	ct, err := d.scheme.Seal(key, payload, aad)
+	sealSp.SetErr(err)
+	sealSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("device: seal: %w", err)
 	}
@@ -218,11 +242,14 @@ func (d *Device) prepareUnsigned(a attr.Attribute, payload []byte) (*wire.Deposi
 }
 
 // authenticate attaches the deposit authenticator (IBS signature or MAC).
-func (d *Device) authenticate(req *wire.DepositRequest) error {
+func (d *Device) authenticate(ctx context.Context, req *wire.DepositRequest) error {
+	_, sp := obsv.StartSpan(ctx, "auth")
+	defer sp.End()
 	if d.signKey != nil {
 		req.AuthMode = wire.AuthModeIBS
 		sig, err := ibs.Sign(d.params, d.signKey, req.AuthBytes(), d.rand)
 		if err != nil {
+			sp.SetErr(err)
 			return fmt.Errorf("device: sign: %w", err)
 		}
 		req.MAC = sig.Marshal(d.params)
@@ -236,16 +263,28 @@ func (d *Device) authenticate(req *wire.DepositRequest) error {
 // Deposit prepares and sends one message through an open MWS connection,
 // returning the warehouse-assigned sequence number.
 func (d *Device) Deposit(mws *wire.Client, a attr.Attribute, payload []byte) (uint64, error) {
-	req, err := d.PrepareDeposit(a, payload)
+	return d.DepositContext(background(), mws, a, payload)
+}
+
+// DepositContext is Deposit under a request context: the current trace
+// (if any) rides the deposit frame so the server's spans stitch to the
+// client's.
+func (d *Device) DepositContext(ctx context.Context, mws *wire.Client, a attr.Attribute, payload []byte) (uint64, error) {
+	req, err := d.PrepareDepositContext(ctx, a, payload)
 	if err != nil {
 		return 0, err
 	}
-	return d.send(mws, req)
+	return d.send(ctx, mws, req)
 }
 
 // send ships a prepared deposit and decodes the acknowledgement.
-func (d *Device) send(mws *wire.Client, req *wire.DepositRequest) (uint64, error) {
-	resp, err := mws.Do(wire.Frame{Type: wire.TDeposit, Payload: req.Marshal()})
+func (d *Device) send(ctx context.Context, mws *wire.Client, req *wire.DepositRequest) (uint64, error) {
+	// Inject the rpc span's own context so the server's request root
+	// parents to this span, not to its parent.
+	spanCtx, sp := obsv.StartSpan(ctx, "rpc.deposit")
+	resp, err := mws.Do(wire.Frame{Type: wire.TDeposit, Payload: req.Marshal(), Trace: obsv.ContextTrace(spanCtx)})
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package device
 
 import (
+	"context"
 	"fmt"
 
 	"mwskit/internal/attr"
@@ -13,10 +14,17 @@ import (
 // against PKG-issued trapdoors without ever learning the keyword
 // (related work [1], searchable encrypted audit logs).
 func (d *Device) PrepareTaggedDeposit(a attr.Attribute, payload []byte, keywords []string) (*wire.DepositRequest, error) {
+	return d.PrepareTaggedDepositContext(background(), a, payload, keywords)
+}
+
+// PrepareTaggedDepositContext is PrepareTaggedDeposit with a caller
+// context; tracing spans started under ctx cover the PEKS tag
+// generation along with the encapsulation stages.
+func (d *Device) PrepareTaggedDepositContext(ctx context.Context, a attr.Attribute, payload []byte, keywords []string) (*wire.DepositRequest, error) {
 	if len(keywords) > wire.MaxTags {
 		return nil, fmt.Errorf("device: %d keywords exceeds limit %d", len(keywords), wire.MaxTags)
 	}
-	req, err := d.prepareUnsigned(a, payload)
+	req, err := d.prepareUnsigned(ctx, a, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -27,7 +35,7 @@ func (d *Device) PrepareTaggedDeposit(a attr.Attribute, payload []byte, keywords
 		}
 		req.Tags = append(req.Tags, peks.MarshalTag(d.params, tag))
 	}
-	if err := d.authenticate(req); err != nil {
+	if err := d.authenticate(ctx, req); err != nil {
 		return nil, err
 	}
 	return req, nil
@@ -35,9 +43,15 @@ func (d *Device) PrepareTaggedDeposit(a attr.Attribute, payload []byte, keywords
 
 // DepositTagged sends a tagged deposit through an open MWS connection.
 func (d *Device) DepositTagged(mws *wire.Client, a attr.Attribute, payload []byte, keywords []string) (uint64, error) {
-	req, err := d.PrepareTaggedDeposit(a, payload, keywords)
+	return d.DepositTaggedContext(background(), mws, a, payload, keywords)
+}
+
+// DepositTaggedContext is DepositTagged with a caller context; when the
+// context carries a trace the deposit frame is stamped with it.
+func (d *Device) DepositTaggedContext(ctx context.Context, mws *wire.Client, a attr.Attribute, payload []byte, keywords []string) (uint64, error) {
+	req, err := d.PrepareTaggedDepositContext(ctx, a, payload, keywords)
 	if err != nil {
 		return 0, err
 	}
-	return d.send(mws, req)
+	return d.send(ctx, mws, req)
 }

@@ -1,6 +1,10 @@
 package ec
 
-import "math/big"
+import (
+	"math/big"
+
+	"mwskit/internal/obsv"
+)
 
 // Comb is a fixed-base precomputation table: for a base point B of the
 // order-q subgroup it stores every odd multiple each fixed window of the
@@ -53,6 +57,7 @@ func (t *Comb) Base() Point { return t.base }
 // secretDigits() table selections and secretDigits()−1 additions for
 // every k. Suitable for secret scalars.
 func (t *Comb) Mul(k *big.Int) Point {
+	obsv.AddScalarMultSecret()
 	if t.base.Inf {
 		return t.c.Infinity()
 	}

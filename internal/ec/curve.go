@@ -19,6 +19,7 @@ import (
 	"math/big"
 
 	"mwskit/internal/ff"
+	"mwskit/internal/obsv"
 )
 
 // Curve describes E: y² = x³ + x over a specific prime field together with
@@ -144,6 +145,7 @@ func (c *Curve) Sub(p, q Point) Point { return c.Add(p, q.Neg()) }
 // Secret scalars must go through ScalarMultSecret or a Comb; the mwslint
 // vartime analyzer enforces that split.
 func (c *Curve) ScalarMult(p Point, k *big.Int) Point {
+	obsv.AddScalarMultPublic()
 	if p.Inf || k.Sign() == 0 {
 		return c.Infinity()
 	}

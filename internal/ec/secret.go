@@ -4,6 +4,7 @@ import (
 	"math/big"
 
 	"mwskit/internal/ff"
+	"mwskit/internal/obsv"
 )
 
 // This file implements the constant-time scalar-multiplication path for
@@ -110,6 +111,7 @@ func (c *Curve) oddMultiples(base jacPoint) []jacPoint {
 // codebase the base point does); for points outside it the result is
 // (k mod q + {q,2q})·p, which is not k·p.
 func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point {
+	obsv.AddScalarMultSecret()
 	if p.Inf {
 		return c.Infinity()
 	}

@@ -25,6 +25,7 @@ import (
 	"mwskit/internal/ibs"
 	"mwskit/internal/macauth"
 	"mwskit/internal/metrics"
+	"mwskit/internal/obsv"
 	"mwskit/internal/pairing"
 	"mwskit/internal/peks"
 	"mwskit/internal/store"
@@ -56,6 +57,9 @@ type Config struct {
 	Now func() time.Time
 	// Logger receives operational logs (nil discards).
 	Logger *slog.Logger
+	// Tracer records request spans for the debug surface and slow-request
+	// log; nil disables tracing at zero cost.
+	Tracer *obsv.Tracer
 }
 
 // Service is the running PKG.
@@ -183,34 +187,48 @@ func (s *Service) Extract(ctx context.Context, req *wire.ExtractRequest) (*wire.
 	if req == nil {
 		return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "empty extract"}
 	}
+	_, authSp := obsv.StartSpan(ctx, "ticket.open")
+	authSp.SetAttr("rc", req.RC)
 	tk, err := ticket.OpenTicket(s.cfg.MWSPKGKey, req.TicketBlob)
 	if err != nil {
+		authSp.SetErr(err)
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	if tk.RC != req.RC {
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	now := s.cfg.Now()
 	auth, err := ticket.OpenAuthenticator(tk.SessionKey, req.Authenticator, now, s.cfg.FreshnessWindow)
 	if err != nil {
+		authSp.SetErr(err)
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	if auth.RC != req.RC {
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	// One authenticator, one extraction session: replaying the same
 	// authenticator is rejected, which is how "a private key can only be
 	// used once" (§V.C) is enforced at the PKG.
 	if err := s.replay.Check(req.Authenticator, auth.Timestamp, now); err != nil {
+		authSp.SetErr(err)
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeReplay, Message: err.Error()}
 	}
+	authSp.End()
 
+	extractCtx, extSp := obsv.StartSpan(ctx, "ibe.extract")
+	extSp.SetAttr("items", fmt.Sprintf("%d", len(req.Items)))
+	defer extSp.End()
 	resp := &wire.ExtractResponse{SealedKeys: make([][]byte, len(req.Items))}
 	for i, item := range req.Items {
 		// Each extraction is a scalar multiplication in G1; honor the
 		// request deadline between items so a huge batch cannot pin the
 		// server past its budget.
-		if em := wire.CtxErr(ctx); em != nil {
+		if em := wire.CtxErr(extractCtx); em != nil {
 			return nil, em
 		}
 		a, ok := tk.AttributeByAID(attr.ID(item.AID))
@@ -225,12 +243,14 @@ func (s *Service) Extract(ctx context.Context, req *wire.ExtractRequest) (*wire.
 		identity := attr.Identity(a, nonce)
 		sk, err := s.master.Extract(s.params, identity)
 		if err != nil {
+			extSp.SetErr(err)
 			s.cfg.Logger.Error("keyserver: extract", "err", err)
 			return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "extract failure"}
 		}
 		plain := bfibe.MarshalPrivateKey(s.params, sk)
 		sealed, err := s.seal.Seal(tk.SessionKey, plain, []byte(sealedKeyAAD))
 		if err != nil {
+			extSp.SetErr(err)
 			return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "seal failure"}
 		}
 		resp.SealedKeys[i] = sealed
@@ -295,12 +315,14 @@ func OpenSealedKey(params *bfibe.Params, sessionKey, sealed []byte) (*bfibe.Priv
 	return bfibe.UnmarshalPrivateKey(params, plain)
 }
 
-// buildRouter assembles the PKG's request pipeline: instrumentation
-// outermost (so it observes timeouts too), then the request deadline,
-// then panic recovery closest to the handler.
+// buildRouter assembles the PKG's request pipeline: tracing outermost
+// (so the request span covers the whole pipeline), then instrumentation
+// (so it observes timeouts too), then the request deadline, then panic
+// recovery closest to the handler.
 func (s *Service) buildRouter() *wire.Router {
 	r := wire.NewRouter()
 	r.Use(
+		wire.Trace(s.cfg.Tracer),
 		wire.Instrument(s.stats),
 		wire.WithTimeout(s.cfg.RequestTimeout),
 		wire.Recover(s.cfg.Logger),
@@ -314,8 +336,12 @@ func (s *Service) buildRouter() *wire.Router {
 	wire.Route(r, wire.TExtract, wire.TExtractResp, wire.UnmarshalExtractRequest, s.Extract)
 	wire.Route(r, wire.TTrapdoor, wire.TTrapdoorResp, wire.UnmarshalTrapdoorRequest, s.Trapdoor)
 	wire.RegisterStats(r, s.stats)
+	wire.RegisterTrace(r, s.cfg.Tracer)
 	return r
 }
+
+// Tracer returns the service's tracer (nil when tracing is disabled).
+func (s *Service) Tracer() *obsv.Tracer { return s.cfg.Tracer }
 
 // Router exposes the PKG's request pipeline (all routes registered,
 // middleware attached).
@@ -330,6 +356,10 @@ func (s *Service) Handle(ctx context.Context, f wire.Frame) wire.Frame {
 // Metrics returns a point-in-time per-op snapshot (request and error
 // counts, latency distribution) keyed by request frame type name.
 func (s *Service) Metrics() map[string]metrics.OpSnapshot { return s.stats.Snapshot() }
+
+// StatsRegistry exposes the live registry so the debug listener can
+// render labeled counters and gauges alongside the per-op series.
+func (s *Service) StatsRegistry() *metrics.Registry { return s.stats }
 
 // ListenAndServe starts a wire server for the PKG.
 func (s *Service) ListenAndServe(addr string, opts ...wire.ServerOption) (*wire.Server, net.Addr, error) {

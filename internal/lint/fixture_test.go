@@ -112,6 +112,10 @@ func TestSecretLogFixture(t *testing.T) {
 	checkFixture(t, "./testdata/src/kdf")
 }
 
+func TestSecretLogSpanAttrFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/spanattr/mws")
+}
+
 func TestCtxFlowFixture(t *testing.T) {
 	checkFixture(t, "./testdata/src/ctxflow")
 }
@@ -162,6 +166,7 @@ func TestFixtureWantsAreExercised(t *testing.T) {
 		{"./testdata/src/bfibe"},
 		{"./testdata/src/randsource"},
 		{"./testdata/src/kdf"},
+		{"./testdata/src/spanattr/mws"},
 		{"./testdata/src/ctxflow"},
 		{"./testdata/src/wireops/wire", "./testdata/src/wireops/mws"},
 		{"./testdata/src/plainflow/symenc", "./testdata/src/plainflow/store", "./testdata/src/plainflow/wire", "./testdata/src/plainflow/mws"},

@@ -18,7 +18,7 @@ import (
 var SecretLog = &Analyzer{
 	Name: "secretlog",
 	Doc: "flags identifiers matching secret/key naming patterns passed directly to fmt, log, or slog " +
-		"sinks in secret-bearing packages",
+		"sinks — or into tracing span attributes — in secret-bearing packages",
 	Run: runSecretLog,
 }
 
@@ -85,15 +85,27 @@ func runSecretLog(pass *Pass) {
 			if !ok {
 				return true
 			}
-			if !isLogSink(info, call) {
+			spanAttr := isSpanAttrSink(info, call)
+			if !spanAttr && !isLogSink(info, call) {
 				return true
 			}
 			for _, arg := range call.Args {
 				name, pos := argIdentName(arg)
-				if name != "" && secretName(name) {
-					pass.Reportf(pos,
-						"%s looks like key material flowing into a log/format sink; log a length or fingerprint instead, never the secret", name)
+				if spanAttr && name == "" {
+					// SetAttr takes strings, so the typical violation
+					// arrives wrapped in a conversion: string(masterKey).
+					name, pos = convArgIdentName(info, arg)
 				}
+				if name == "" || !secretName(name) {
+					continue
+				}
+				if spanAttr {
+					pass.Reportf(pos,
+						"%s looks like key material flowing into a span attribute; attributes reach the trace ring, slow-request logs, /traces, and TTrace responses — record identities or digests, never the secret", name)
+					continue
+				}
+				pass.Reportf(pos,
+					"%s looks like key material flowing into a log/format sink; log a length or fingerprint instead, never the secret", name)
 			}
 			return true
 		})
@@ -121,6 +133,40 @@ func isLogSink(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	return strings.Contains(tv.Type.String(), "log/slog.Logger")
+}
+
+// isSpanAttrSink reports whether call is obsv's Span.SetAttr. Span
+// attributes are log output for confidentiality purposes: they land in
+// the in-process span ring and from there flow to slow-request slog
+// dumps, the /traces debug endpoint, and TTrace responses to any
+// connected peer. Identities and digests are the intended payload; key
+// material must never be.
+func isSpanAttrSink(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SetAttr" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return strings.Contains(tv.Type.String(), "obsv.Span")
+}
+
+// convArgIdentName sees through a direct type conversion — string(x),
+// []byte(x) — and extracts the converted identifier's name. Hashing or
+// truncating a secret breaks the name chain (and genuinely transforms
+// the value); a bare conversion does neither.
+func convArgIdentName(info *types.Info, arg ast.Expr) (string, token.Pos) {
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", token.NoPos
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", token.NoPos
+	}
+	return argIdentName(call.Args[0])
 }
 
 // argIdentName extracts the trailing identifier name of a direct ident or

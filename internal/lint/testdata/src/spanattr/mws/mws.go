@@ -1,0 +1,43 @@
+// Package mws is a mwslint fixture: its terminal path segment puts it
+// in secretlog's scope, and it exercises the span-attribute sink — it
+// uses the real obsv.Span type, so the analyzer's type-based receiver
+// check runs against export data exactly as it does on the production
+// packages.
+package mws
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"mwskit/internal/obsv"
+)
+
+type vault struct {
+	sessionKey []byte
+}
+
+// Annotate records the legitimate observability payloads: identities,
+// metadata about secrets, and digests all pass.
+func Annotate(ctx context.Context, deviceID string, masterKey []byte) {
+	_, sp := obsv.StartSpan(ctx, "auth")
+	defer sp.End()
+	sp.SetAttr("device", deviceID)                        // clean: identities are the intended payload
+	sp.SetAttr("key_bytes", strconv.Itoa(len(masterKey))) // clean: metadata about a secret
+	sp.SetAttr("key_digest", fingerprint(masterKey))      // clean: digest, not the secret
+}
+
+// AnnotateBad carries the seeded violations the fixture test expects.
+func AnnotateBad(ctx context.Context, masterKey []byte, password string, v vault) {
+	_, sp := obsv.StartSpan(ctx, "ticket.seal")
+	sp.SetAttr("key", string(masterKey))   // want "masterKey looks like key material flowing into a span attribute"
+	sp.SetAttr("sk", string(v.sessionKey)) // want "sessionKey looks like key material flowing into a span attribute"
+	sp.SetAttr("pw", password)             // want "password looks like key material flowing into a span attribute"
+	sp.End()
+}
+
+func fingerprint(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:4])
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension attached to a counter or gauge.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label at a call site.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelsKey renders a label set into a canonical map key. Labels are
+// sorted by key so the same set registered in any order collapses into
+// one series.
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// sortedLabels returns a sorted copy of the label set.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Gauge is an instantaneous signed value, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// CounterSample is a point-in-time reading of one labeled counter series.
+type CounterSample struct {
+	Name   string
+	Labels []Label
+	Value  uint64
+}
+
+// GaugeSample is a point-in-time reading of one labeled gauge series.
+type GaugeSample struct {
+	Name   string
+	Labels []Label
+	Value  int64
+}
+
+// seriesKey identifies one labeled series inside a registry family.
+type seriesKey struct {
+	name   string
+	labels string
+}
+
+// counterSeries pairs the live counter with its decoded label set so
+// snapshots need not re-parse the map key.
+type counterSeries struct {
+	labels []Label
+	c      Counter
+}
+
+type gaugeSeries struct {
+	labels []Label
+	g      Gauge
+}
+
+// Counter returns (registering on first use) the counter series for the
+// given name and label set. The returned pointer is stable, so hot paths
+// should resolve it once and call Inc/Add on the result.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	k := seriesKey{name: name, labels: labelsKey(labels)}
+	r.mu.RLock()
+	s, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return &s.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.counters[k]; ok {
+		return &s.c
+	}
+	s = &counterSeries{labels: sortedLabels(labels)}
+	r.counters[k] = s
+	return &s.c
+}
+
+// Gauge returns (registering on first use) the gauge series for the given
+// name and label set.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	k := seriesKey{name: name, labels: labelsKey(labels)}
+	r.mu.RLock()
+	s, ok := r.gauges[k]
+	r.mu.RUnlock()
+	if ok {
+		return &s.g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.gauges[k]; ok {
+		return &s.g
+	}
+	s = &gaugeSeries{labels: sortedLabels(labels)}
+	r.gauges[k] = s
+	return &s.g
+}
+
+// Counters returns a stable-sorted snapshot of every labeled counter
+// series registered so far.
+func (r *Registry) Counters() []CounterSample {
+	r.mu.RLock()
+	out := make([]CounterSample, 0, len(r.counters))
+	for k, s := range r.counters {
+		out = append(out, CounterSample{Name: k.name, Labels: s.labels, Value: s.c.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelsKey(out[i].Labels) < labelsKey(out[j].Labels)
+	})
+	return out
+}
+
+// Gauges returns a stable-sorted snapshot of every labeled gauge series
+// registered so far.
+func (r *Registry) Gauges() []GaugeSample {
+	r.mu.RLock()
+	out := make([]GaugeSample, 0, len(r.gauges))
+	for k, s := range r.gauges {
+		out = append(out, GaugeSample{Name: k.name, Labels: s.labels, Value: s.g.Value()})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelsKey(out[i].Labels) < labelsKey(out[j].Labels)
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLabeledCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("errors_by_code", L("op", "Deposit"), L("code", "2"))
+	// Same set, different order → same series.
+	b := r.Counter("errors_by_code", L("code", "2"), L("op", "Deposit"))
+	if a != b {
+		t.Fatal("label order split one series into two")
+	}
+	c := r.Counter("errors_by_code", L("op", "Deposit"), L("code", "3"))
+	if a == c {
+		t.Fatal("distinct label values share a series")
+	}
+	a.Add(2)
+	c.Inc()
+	samples := r.Counters()
+	if len(samples) != 2 {
+		t.Fatalf("got %d series, want 2: %+v", len(samples), samples)
+	}
+	// Snapshot is sorted by name then canonical labels; labels are sorted
+	// by key.
+	if samples[0].Labels[0].Key != "code" || samples[0].Value != 2 {
+		t.Fatalf("first sample = %+v", samples[0])
+	}
+}
+
+func TestLabeledGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue_depth", L("listener", "sd"))
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if same := r.Gauge("queue_depth", L("listener", "sd")); same != g {
+		t.Fatal("re-registration returned a different gauge")
+	}
+	gs := r.Gauges()
+	if len(gs) != 1 || gs[0].Value != 3 || gs[0].Name != "queue_depth" {
+		t.Fatalf("gauges = %+v", gs)
+	}
+}
+
+// TestLabeledConcurrent is the -race hammer: concurrent first-use
+// registration and increments across a fixed set of series must produce
+// exact totals.
+func TestLabeledConcurrent(t *testing.T) {
+	r := NewRegistry()
+	codes := []string{"1", "2", "3", "4"}
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				code := codes[(g+i)%len(codes)]
+				r.Counter("errs", L("code", code)).Inc()
+				r.Gauge("depth", L("code", code)).Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var totalC, totalG int64
+	for _, s := range r.Counters() {
+		totalC += int64(s.Value)
+	}
+	for _, s := range r.Gauges() {
+		totalG += s.Value
+	}
+	if totalC != goroutines*perG || totalG != goroutines*perG {
+		t.Fatalf("totals = %d counter / %d gauge, want %d", totalC, totalG, goroutines*perG)
+	}
+	if n := len(r.Counters()); n != len(codes) {
+		t.Fatalf("got %d counter series, want %d", n, len(codes))
+	}
+}
+
+func TestObserveCode(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("Deposit", time.Millisecond, true)
+	r.ObserveCode("Deposit", 2)
+	r.ObserveCode("Deposit", 2)
+	r.ObserveCode("Deposit", 7)
+	snap := r.Snapshot()["Deposit"]
+	if snap.ErrorCodes[2] != 2 || snap.ErrorCodes[7] != 1 {
+		t.Fatalf("error codes = %+v", snap.ErrorCodes)
+	}
+	if s := snap.String(); !strings.Contains(s, "codes[2:2 7:1]") {
+		t.Fatalf("String() drops code detail: %q", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("Deposit", 2*time.Millisecond, false)
+	r.Observe("Deposit", 4*time.Millisecond, true)
+	r.ObserveCode("Deposit", 2)
+	r.Counter("pairing_ops").Add(42)
+	r.Counter("errs", L("code", `q"uote`)).Inc()
+	r.Gauge("wal_fsync_p99_ns").Set(1234)
+
+	var b strings.Builder
+	WritePrometheus(&b, "mws", r,
+		[]CounterSample{{Name: "zz_extra", Value: 7}},
+		[]GaugeSample{{Name: "zz_gauge", Value: -1}})
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE mws_requests_total counter\n",
+		`mws_requests_total{op="Deposit"} 2`,
+		`mws_errors_total{op="Deposit"} 1`,
+		`mws_errors_by_code_total{op="Deposit",code="2"} 1`,
+		`mws_request_latency_seconds{op="Deposit",quantile="0.5"}`,
+		`mws_request_latency_seconds_count{op="Deposit"} 2`,
+		"mws_pairing_ops_total 42",
+		`mws_errs_total{code="q\"uote"} 1`,
+		"# TYPE mws_wal_fsync_p99_ns gauge",
+		"mws_wal_fsync_p99_ns 1234",
+		"mws_zz_extra_total 7",
+		"mws_zz_gauge -1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}

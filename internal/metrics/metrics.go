@@ -159,23 +159,35 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
-// opStats is one operation's instrumentation: request/error totals plus a
-// latency reservoir.
+// opStats is one operation's instrumentation: request/error totals, a
+// latency reservoir, and a per-error-code breakdown.
 type opStats struct {
 	requests Counter
 	errors   Counter
 	latency  *Histogram
+
+	codeMu sync.Mutex
+	codes  map[uint32]uint64
 }
 
 // Registry tracks per-operation request counts, error counts, and latency
-// distributions. The zero value is not usable; call NewRegistry.
+// distributions, plus free-form labeled counter and gauge series. The
+// zero value is not usable; call NewRegistry.
 type Registry struct {
-	mu  sync.RWMutex
-	ops map[string]*opStats
+	mu       sync.RWMutex
+	ops      map[string]*opStats
+	counters map[seriesKey]*counterSeries
+	gauges   map[seriesKey]*gaugeSeries
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{ops: make(map[string]*opStats)} }
+func NewRegistry() *Registry {
+	return &Registry{
+		ops:      make(map[string]*opStats),
+		counters: make(map[seriesKey]*counterSeries),
+		gauges:   make(map[seriesKey]*gaugeSeries),
+	}
+}
 
 func (r *Registry) get(op string) *opStats {
 	r.mu.RLock()
@@ -204,16 +216,44 @@ func (r *Registry) Observe(op string, d time.Duration, isErr bool) {
 	s.latency.Observe(d)
 }
 
-// OpSnapshot is one operation's totals and latency summary.
+// ObserveCode attributes one error on op to a structured error code, so
+// operators can tell authentication failures from timeouts without
+// grepping logs. Call it alongside Observe(op, d, true).
+func (r *Registry) ObserveCode(op string, code uint32) {
+	s := r.get(op)
+	s.codeMu.Lock()
+	if s.codes == nil {
+		s.codes = make(map[uint32]uint64)
+	}
+	s.codes[code]++
+	s.codeMu.Unlock()
+}
+
+// OpSnapshot is one operation's totals, latency summary, and error-code
+// breakdown.
 type OpSnapshot struct {
-	Requests uint64
-	Errors   uint64
-	Latency  Snapshot
+	Requests   uint64
+	Errors     uint64
+	Latency    Snapshot
+	ErrorCodes map[uint32]uint64 // nil when no coded errors were observed
 }
 
 // String renders the op snapshot as one report row.
 func (s OpSnapshot) String() string {
-	return fmt.Sprintf("requests=%d errors=%d %s", s.Requests, s.Errors, s.Latency)
+	base := fmt.Sprintf("requests=%d errors=%d %s", s.Requests, s.Errors, s.Latency)
+	if len(s.ErrorCodes) == 0 {
+		return base
+	}
+	codes := make([]uint32, 0, len(s.ErrorCodes))
+	for c := range s.ErrorCodes {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d:%d", c, s.ErrorCodes[c]))
+	}
+	return base + " codes[" + strings.Join(parts, " ") + "]"
 }
 
 // Snapshot returns a point-in-time view of every operation observed so far.
@@ -222,10 +262,20 @@ func (r *Registry) Snapshot() map[string]OpSnapshot {
 	defer r.mu.RUnlock()
 	out := make(map[string]OpSnapshot, len(r.ops))
 	for op, s := range r.ops {
+		var codes map[uint32]uint64
+		s.codeMu.Lock()
+		if len(s.codes) > 0 {
+			codes = make(map[uint32]uint64, len(s.codes))
+			for c, n := range s.codes {
+				codes[c] = n
+			}
+		}
+		s.codeMu.Unlock()
 		out[op] = OpSnapshot{
-			Requests: s.requests.Value(),
-			Errors:   s.errors.Value(),
-			Latency:  s.latency.Snapshot(),
+			Requests:   s.requests.Value(),
+			Errors:     s.errors.Value(),
+			Latency:    s.latency.Snapshot(),
+			ErrorCodes: codes,
 		}
 	}
 	return out

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format (backslash, double quote, newline).
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promLabels renders a label set as {k="v",...}, or "" when empty.
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		// promEscape already produces the exposition-format escaping;
+		// %q would double-escape the backslashes it inserts.
+		parts = append(parts, l.Key+`="`+promEscape(l.Value)+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry — per-op request/error/latency
+// series, per-code error counters, and every labeled counter and gauge —
+// in the Prometheus text exposition format. extraCounters and extraGauges
+// let callers append process-wide samples (e.g. crypto-stage counters)
+// that live outside the registry. prefix namespaces every metric
+// ("mws" → mws_requests_total).
+func WritePrometheus(w io.Writer, prefix string, reg *Registry, extraCounters []CounterSample, extraGauges []GaugeSample) {
+	if prefix != "" && !strings.HasSuffix(prefix, "_") {
+		prefix += "_"
+	}
+	snap := reg.Snapshot()
+	ops := make([]string, 0, len(snap))
+	for op := range snap {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+
+	fmt.Fprintf(w, "# TYPE %srequests_total counter\n", prefix)
+	for _, op := range ops {
+		fmt.Fprintf(w, "%srequests_total{op=%q} %d\n", prefix, promEscape(op), snap[op].Requests)
+	}
+	fmt.Fprintf(w, "# TYPE %serrors_total counter\n", prefix)
+	for _, op := range ops {
+		fmt.Fprintf(w, "%serrors_total{op=%q} %d\n", prefix, promEscape(op), snap[op].Errors)
+	}
+	fmt.Fprintf(w, "# TYPE %serrors_by_code_total counter\n", prefix)
+	for _, op := range ops {
+		codes := make([]uint32, 0, len(snap[op].ErrorCodes))
+		for c := range snap[op].ErrorCodes {
+			codes = append(codes, c)
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+		for _, c := range codes {
+			fmt.Fprintf(w, "%serrors_by_code_total{op=%q,code=\"%d\"} %d\n",
+				prefix, promEscape(op), c, snap[op].ErrorCodes[c])
+		}
+	}
+	fmt.Fprintf(w, "# TYPE %srequest_latency_seconds summary\n", prefix)
+	for _, op := range ops {
+		lat := snap[op].Latency
+		if lat.Count == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			q string
+			v float64
+		}{
+			{"0.5", lat.P50.Seconds()},
+			{"0.9", lat.P90.Seconds()},
+			{"0.99", lat.P99.Seconds()},
+		} {
+			fmt.Fprintf(w, "%srequest_latency_seconds{op=%q,quantile=%q} %g\n",
+				prefix, promEscape(op), q.q, q.v)
+		}
+		fmt.Fprintf(w, "%srequest_latency_seconds_sum{op=%q} %g\n", prefix, promEscape(op), lat.Total.Seconds())
+		fmt.Fprintf(w, "%srequest_latency_seconds_count{op=%q} %d\n", prefix, promEscape(op), lat.Count)
+	}
+
+	counters := append(reg.Counters(), extraCounters...)
+	lastName := ""
+	for _, c := range counters {
+		if c.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s%s_total counter\n", prefix, c.Name)
+			lastName = c.Name
+		}
+		fmt.Fprintf(w, "%s%s_total%s %d\n", prefix, c.Name, promLabels(c.Labels), c.Value)
+	}
+	gauges := append(reg.Gauges(), extraGauges...)
+	lastName = ""
+	for _, g := range gauges {
+		if g.Name != lastName {
+			fmt.Fprintf(w, "# TYPE %s%s gauge\n", prefix, g.Name)
+			lastName = g.Name
+		}
+		fmt.Fprintf(w, "%s%s%s %d\n", prefix, g.Name, promLabels(g.Labels), g.Value)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"mwskit/internal/ibs"
 	"mwskit/internal/macauth"
 	"mwskit/internal/metrics"
+	"mwskit/internal/obsv"
 	"mwskit/internal/peks"
 	"mwskit/internal/policy"
 	"mwskit/internal/policyrule"
@@ -65,6 +66,9 @@ type Config struct {
 	Now func() time.Time
 	// Logger receives operational logs (nil discards).
 	Logger *slog.Logger
+	// Tracer, when set, records per-stage spans for every request and
+	// serves them over the TTrace op; nil disables tracing at zero cost.
+	Tracer *obsv.Tracer
 	// IBEParams, when set, enables the AuthModeIBS deposit path (§VIII
 	// future work): devices authenticate with identity-based signatures
 	// verified against these public parameters instead of shared MAC
@@ -267,34 +271,49 @@ func (s *Service) Deposit(ctx context.Context, req *wire.DepositRequest) (uint64
 	if err != nil {
 		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: err.Error()}
 	}
-	switch req.AuthMode {
-	case wire.AuthModeMAC:
-		key, ok := s.devices.Key(req.DeviceID)
-		if !ok {
-			// Same error as a bad MAC: do not reveal which devices exist.
-			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+	_, authSp := obsv.StartSpan(ctx, "auth")
+	authSp.SetAttr("device", req.DeviceID)
+	authErr := func() *wire.ErrorMsg {
+		switch req.AuthMode {
+		case wire.AuthModeMAC:
+			key, ok := s.devices.Key(req.DeviceID)
+			if !ok {
+				// Same error as a bad MAC: do not reveal which devices exist.
+				return &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+			}
+			if !macauth.Verify(key, req.MAC, req.MACParts()...) {
+				return &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+			}
+		case wire.AuthModeIBS:
+			if s.cfg.IBEParams == nil {
+				return &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "IBS deposits not enabled"}
+			}
+			sig, err := ibs.Unmarshal(s.cfg.IBEParams, req.MAC)
+			if err != nil {
+				return &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+			}
+			if !ibs.Verify(s.cfg.IBEParams, ibs.DeviceIdentity(req.DeviceID), req.AuthBytes(), sig) {
+				return &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
+			}
+		default:
+			return &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "unknown auth mode"}
 		}
-		if !macauth.Verify(key, req.MAC, req.MACParts()...) {
-			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
-		}
-	case wire.AuthModeIBS:
-		if s.cfg.IBEParams == nil {
-			return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "IBS deposits not enabled"}
-		}
-		sig, err := ibs.Unmarshal(s.cfg.IBEParams, req.MAC)
-		if err != nil {
-			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
-		}
-		if !ibs.Verify(s.cfg.IBEParams, ibs.DeviceIdentity(req.DeviceID), req.AuthBytes(), sig) {
-			return 0, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
-		}
-	default:
-		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "unknown auth mode"}
+		return nil
+	}()
+	if authErr != nil {
+		authSp.SetErr(authErr)
+		authSp.End()
+		return 0, authErr
 	}
+	authSp.End()
 	now := s.cfg.Now()
+	_, replaySp := obsv.StartSpan(ctx, "replay")
 	if err := s.replay.Check(req.MAC, time.Unix(req.Timestamp, 0), now); err != nil {
+		replaySp.SetErr(err)
+		replaySp.End()
 		return 0, &wire.ErrorMsg{Code: wire.CodeReplay, Message: err.Error()}
 	}
+	replaySp.End()
 	if len(req.Tags) > wire.MaxTags {
 		return 0, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "too many keyword tags"}
 	}
@@ -303,7 +322,8 @@ func (s *Service) Deposit(ctx context.Context, req *wire.DepositRequest) (uint64
 	if em := wire.CtxErr(ctx); em != nil {
 		return 0, em
 	}
-	seq, err := s.messages.Put(&store.Message{
+	storeCtx, storeSp := obsv.StartSpan(ctx, "store.write")
+	seq, err := s.messages.PutContext(storeCtx, &store.Message{
 		DeviceID:   req.DeviceID,
 		Attribute:  a,
 		Nonce:      nonce,
@@ -313,6 +333,8 @@ func (s *Service) Deposit(ctx context.Context, req *wire.DepositRequest) (uint64
 		Timestamp:  req.Timestamp,
 		Tags:       req.Tags,
 	})
+	storeSp.SetErr(err)
+	storeSp.End()
 	if err != nil {
 		s.cfg.Logger.Error("mws: deposit store", "err", err)
 		return 0, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "store failure"}
@@ -336,23 +358,33 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 	now := s.cfg.Now()
 
 	// Gatekeeper: authenticate against the credential key.
+	_, authSp := obsv.StartSpan(ctx, "auth")
+	authSp.SetAttr("rc", req.RC)
 	cred, ok := s.users.Credential(req.RC)
 	if !ok {
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	auth, err := ticket.OpenAuthenticator(cred, req.AuthBlob, now, s.cfg.FreshnessWindow)
 	if err != nil {
+		authSp.SetErr(err)
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	if auth.RC != req.RC {
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeAuth, Message: "authentication failed"}
 	}
 	if err := s.rcReplay.Check(req.AuthBlob, auth.Timestamp, now); err != nil {
+		authSp.SetErr(err)
+		authSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeReplay, Message: err.Error()}
 	}
+	authSp.End()
 
 	// MMS: policy lookup (Table 1 grants filtered through the rule
 	// layer) and message fetch.
+	_, polSp := obsv.StartSpan(ctx, "policy")
 	rules := s.Rules()
 	allBindings := s.policies.BindingsFor(req.RC)
 	bindings := allBindings[:0:0]
@@ -367,6 +399,7 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 		aidByAttr[b.Attribute] = b.AID
 		set = append(set, b.Attribute)
 	}
+	polSp.End()
 	// Keyword search (related work [1]): with a trapdoor present, keep
 	// only messages carrying a matching PEKS tag. Fetch unlimited and
 	// apply the limit after filtering so matches are not starved.
@@ -374,13 +407,19 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 	if len(req.Trapdoor) > 0 {
 		fetchLimit = 0
 	}
+	_, fetchSp := obsv.StartSpan(ctx, "store.read")
 	msgs := s.messages.ListByAttributes(set, req.FromSeq, fetchLimit)
+	fetchSp.SetAttr("messages", fmt.Sprintf("%d", len(msgs)))
+	fetchSp.End()
 	if len(req.Trapdoor) > 0 {
 		if s.cfg.IBEParams == nil {
 			return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "keyword search not enabled"}
 		}
+		_, peksSp := obsv.StartSpan(ctx, "peks.filter")
 		td, err := peks.UnmarshalTrapdoor(s.cfg.IBEParams, req.Trapdoor)
 		if err != nil {
+			peksSp.SetErr(err)
+			peksSp.End()
 			return nil, &wire.ErrorMsg{Code: wire.CodeBadRequest, Message: "malformed trapdoor"}
 		}
 		filtered := msgs[:0:0]
@@ -388,6 +427,7 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 			// Each tag test costs a pairing; honor the request deadline
 			// between messages so a huge backlog cannot pin the server.
 			if em := wire.CtxErr(ctx); em != nil {
+				peksSp.End()
 				return nil, em
 			}
 			if s.anyTagMatches(m.Tags, td) {
@@ -398,6 +438,8 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 			}
 		}
 		msgs = filtered
+		peksSp.SetAttr("matches", fmt.Sprintf("%d", len(msgs)))
+		peksSp.End()
 	}
 	items := make([]wire.MessageItem, len(msgs))
 	for i, m := range msgs {
@@ -417,8 +459,11 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 	if em := wire.CtxErr(ctx); em != nil {
 		return nil, em
 	}
+	_, sealSp := obsv.StartSpan(ctx, "ticket.seal")
 	sessionKey, err := ticket.NewSessionKey(s.cfg.Rand)
 	if err != nil {
+		sealSp.SetErr(err)
+		sealSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "session key"}
 	}
 	tk := &ticket.Ticket{
@@ -429,17 +474,23 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 	}
 	ticketBlob, err := tk.Seal(s.cfg.MWSPKGKey)
 	if err != nil {
+		sealSp.SetErr(err)
+		sealSp.End()
 		s.cfg.Logger.Error("mws: ticket seal", "err", err)
 		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "ticket"}
 	}
 	pub, err := s.users.PublicKey(req.RC)
 	if err != nil {
+		sealSp.SetErr(err)
+		sealSp.End()
 		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "client key"}
 	}
 	tokenBlob, err := ticket.SealToken(s.cfg.Rand, pub, &ticket.Token{
 		SessionKey: sessionKey,
 		TicketBlob: ticketBlob,
 	})
+	sealSp.SetErr(err)
+	sealSp.End()
 	if err != nil {
 		s.cfg.Logger.Error("mws: token seal", "err", err)
 		return nil, &wire.ErrorMsg{Code: wire.CodeInternal, Message: "token"}

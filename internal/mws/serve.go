@@ -5,19 +5,21 @@ import (
 	"net"
 
 	"mwskit/internal/metrics"
+	"mwskit/internal/obsv"
 	"mwskit/internal/wire"
 )
 
 // buildRouter assembles the service's request pipeline. Every route runs
-// under the same middleware stack — instrumentation outermost (so it
-// observes timeouts too), then the request deadline, then panic recovery
-// closest to the handler. Both the SD-facing and RC-facing operations
-// share one endpoint; the paper runs them as two servers (MWS-SD,
-// MWS-Client), and cmd/mwsd can bind two listeners to the same Service to
-// mirror that.
+// under the same middleware stack — tracing outermost (so the request
+// span covers the whole pipeline), then instrumentation (so it observes
+// timeouts too), then the request deadline, then panic recovery closest
+// to the handler. Both the SD-facing and RC-facing operations share one
+// endpoint; the paper runs them as two servers (MWS-SD, MWS-Client), and
+// cmd/mwsd can bind two listeners to the same Service to mirror that.
 func (s *Service) buildRouter() *wire.Router {
 	r := wire.NewRouter()
 	r.Use(
+		wire.Trace(s.cfg.Tracer),
 		wire.Instrument(s.stats),
 		wire.WithTimeout(s.cfg.RequestTimeout),
 		wire.Recover(s.cfg.Logger),
@@ -35,8 +37,12 @@ func (s *Service) buildRouter() *wire.Router {
 		})
 	wire.Route(r, wire.TRetrieve, wire.TRetrieveResp, wire.UnmarshalRetrieveRequest, s.Retrieve)
 	wire.RegisterStats(r, s.stats)
+	wire.RegisterTrace(r, s.cfg.Tracer)
 	return r
 }
+
+// Tracer returns the service's tracer (nil when tracing is disabled).
+func (s *Service) Tracer() *obsv.Tracer { return s.cfg.Tracer }
 
 // Router exposes the service's request pipeline (all routes registered,
 // middleware attached). Useful for serving and for introspection tests.
@@ -51,6 +57,10 @@ func (s *Service) Handle(ctx context.Context, f wire.Frame) wire.Frame {
 // Metrics returns a point-in-time per-op snapshot (request and error
 // counts, latency distribution) keyed by request frame type name.
 func (s *Service) Metrics() map[string]metrics.OpSnapshot { return s.stats.Snapshot() }
+
+// StatsRegistry exposes the live registry so the debug listener can
+// render labeled counters and gauges alongside the per-op series.
+func (s *Service) StatsRegistry() *metrics.Registry { return s.stats }
 
 // ListenAndServe starts a wire server for this service on addr and
 // returns it along with the bound address.

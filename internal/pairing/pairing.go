@@ -22,6 +22,7 @@ import (
 
 	"mwskit/internal/ec"
 	"mwskit/internal/ff"
+	"mwskit/internal/obsv"
 )
 
 // GT is an element of the target group μ_q ⊂ F_p²*. The zero value is not
@@ -91,6 +92,7 @@ func (e *Pairing) GTFromBytes(b []byte) (GT, error) {
 // the order-q subgroup G1 (callers obtain them via hashing or scalar
 // multiplication of subgroup points); pairing with the identity returns 1.
 func (e *Pairing) Pair(p, q ec.Point) GT {
+	obsv.AddPairing()
 	if p.Inf || q.Inf {
 		return e.GTOne()
 	}

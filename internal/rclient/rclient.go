@@ -22,6 +22,7 @@ import (
 	"mwskit/internal/attr"
 	"mwskit/internal/bfibe"
 	"mwskit/internal/keyserver"
+	"mwskit/internal/obsv"
 	"mwskit/internal/symenc"
 	"mwskit/internal/ticket"
 	"mwskit/internal/userdb"
@@ -94,6 +95,22 @@ type Retrieval struct {
 // Retrieve runs the MWS–RC phase: authenticate, fetch messages after the
 // cursor, and unwrap the PKG token.
 func (c *Client) Retrieve(mws *wire.Client, fromSeq uint64, limit uint32) (*Retrieval, error) {
+	return c.RetrieveContext(background(), mws, fromSeq, limit)
+}
+
+// background is the shared root for the package's context-free
+// convenience wrappers; cancellation-aware callers use the Context
+// variants directly.
+func background() context.Context {
+	//mwslint:ignore ctxflow single annotated root for the context-free convenience wrappers; request paths use the Context variants
+	return context.Background()
+}
+
+// RetrieveContext is Retrieve under a request context: when the context
+// carries a trace span, the current trace rides the retrieve frame so
+// the warehouse's spans stitch to the client's, and the token unwrap
+// lands as its own child span.
+func (c *Client) RetrieveContext(ctx context.Context, mws *wire.Client, fromSeq uint64, limit uint32) (*Retrieval, error) {
 	authBlob, err := ticket.SealAuthenticator(c.credKey, &ticket.Authenticator{
 		RC:        c.id,
 		Timestamp: c.now(),
@@ -102,7 +119,10 @@ func (c *Client) Retrieve(mws *wire.Client, fromSeq uint64, limit uint32) (*Retr
 		return nil, err
 	}
 	req := wire.RetrieveRequest{RC: c.id, AuthBlob: authBlob, FromSeq: fromSeq, Limit: limit}
-	resp, err := mws.Do(wire.Frame{Type: wire.TRetrieve, Payload: req.Marshal()})
+	rpcCtx, rpcSp := obsv.StartSpan(ctx, "rpc.retrieve")
+	resp, err := mws.Do(wire.Frame{Type: wire.TRetrieve, Payload: req.Marshal(), Trace: obsv.ContextTrace(rpcCtx)})
+	rpcSp.SetErr(err)
+	rpcSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +133,10 @@ func (c *Client) Retrieve(mws *wire.Client, fromSeq uint64, limit uint32) (*Retr
 	if err != nil {
 		return nil, err
 	}
+	_, tokSp := obsv.StartSpan(ctx, "token.open")
 	tok, err := ticket.OpenToken(c.priv, rr.TokenBlob)
+	tokSp.SetErr(err)
+	tokSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("rclient: token: %w", err)
 	}
@@ -124,6 +147,13 @@ func (c *Client) Retrieve(mws *wire.Client, fromSeq uint64, limit uint32) (*Retr
 // request covering the distinct (AID, Nonce) pairs, returning the private
 // keys indexed identically to the request items it derives.
 func (c *Client) FetchKeys(pkg *wire.Client, r *Retrieval) (map[keyIndex]*bfibe.PrivateKey, []wire.ExtractItem, error) {
+	return c.FetchKeysContext(background(), pkg, r)
+}
+
+// FetchKeysContext is FetchKeys under a request context: the current
+// trace (if any) rides the extract frame so the PKG's spans stitch to
+// the client's.
+func (c *Client) FetchKeysContext(ctx context.Context, pkg *wire.Client, r *Retrieval) (map[keyIndex]*bfibe.PrivateKey, []wire.ExtractItem, error) {
 	// Deduplicate (AID, nonce) pairs: several messages can share a key
 	// only if a device reused a nonce, which compliant devices never do,
 	// but the dedup keeps the request minimal either way.
@@ -153,7 +183,10 @@ func (c *Client) FetchKeys(pkg *wire.Client, r *Retrieval) (map[keyIndex]*bfibe.
 		Authenticator: authBlob,
 		Items:         items,
 	}
-	resp, err := pkg.Do(wire.Frame{Type: wire.TExtract, Payload: req.Marshal()})
+	rpcCtx, rpcSp := obsv.StartSpan(ctx, "rpc.extract")
+	resp, err := pkg.Do(wire.Frame{Type: wire.TExtract, Payload: req.Marshal(), Trace: obsv.ContextTrace(rpcCtx)})
+	rpcSp.SetErr(err)
+	rpcSp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -167,14 +200,18 @@ func (c *Client) FetchKeys(pkg *wire.Client, r *Retrieval) (map[keyIndex]*bfibe.
 	if len(er.SealedKeys) != len(items) {
 		return nil, nil, fmt.Errorf("rclient: got %d keys for %d items", len(er.SealedKeys), len(items))
 	}
+	_, openSp := obsv.StartSpan(ctx, "keys.open")
 	keys := make(map[keyIndex]*bfibe.PrivateKey, len(items))
 	for i, sealed := range er.SealedKeys {
 		sk, err := keyserver.OpenSealedKey(c.params, r.SessionKey, sealed)
 		if err != nil {
+			openSp.SetErr(err)
+			openSp.End()
 			return nil, nil, err
 		}
 		keys[keyIndexOf(items[i].AID, items[i].Nonce)] = sk
 	}
+	openSp.End()
 	return keys, items, nil
 }
 
@@ -224,6 +261,9 @@ func (c *Client) DecryptRetrieval(ctx context.Context, r *Retrieval, keys map[ke
 	if len(r.Items) == 0 {
 		return nil, nil
 	}
+	_, decSp := obsv.StartSpan(ctx, "ibe.decapsulate")
+	decSp.SetAttr("messages", fmt.Sprintf("%d", len(r.Items)))
+	defer decSp.End()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -288,19 +328,24 @@ feed:
 // key extraction, and parallel message decryption, returning plaintext
 // messages in deposit order.
 func (c *Client) RetrieveAndDecrypt(mws, pkg *wire.Client, fromSeq uint64, limit uint32) ([]*Message, error) {
-	r, err := c.Retrieve(mws, fromSeq, limit)
+	return c.RetrieveAndDecryptContext(background(), mws, pkg, fromSeq, limit)
+}
+
+// RetrieveAndDecryptContext is RetrieveAndDecrypt under a request
+// context, tracing each phase when the context carries a span.
+func (c *Client) RetrieveAndDecryptContext(ctx context.Context, mws, pkg *wire.Client, fromSeq uint64, limit uint32) ([]*Message, error) {
+	r, err := c.RetrieveContext(ctx, mws, fromSeq, limit)
 	if err != nil {
 		return nil, err
 	}
 	if len(r.Items) == 0 {
 		return nil, nil
 	}
-	keys, _, err := c.FetchKeys(pkg, r)
+	keys, _, err := c.FetchKeysContext(ctx, pkg, r)
 	if err != nil {
 		return nil, err
 	}
-	//mwslint:ignore ctxflow context-free convenience wrapper; cancellation-aware callers use DecryptRetrieval directly
-	return c.DecryptRetrieval(context.Background(), r, keys)
+	return c.DecryptRetrieval(ctx, r, keys)
 }
 
 // keyIndex identifies a private key by (AID, nonce).

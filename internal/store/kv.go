@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"mwskit/internal/obsv"
 	"mwskit/internal/wal"
 )
 
@@ -40,6 +41,7 @@ func OpenKV(dir string, sync wal.SyncPolicy) (*KV, error) {
 	}
 	kv := &KV{m: make(map[string][]byte), log: log, dir: dir}
 	err = log.Iterate(func(_ uint64, payload []byte) error {
+		obsv.AddStoreReadBytes(len(payload))
 		return kv.applyRecord(payload)
 	})
 	if err != nil {
@@ -94,6 +96,7 @@ func (kv *KV) Put(key string, value []byte) error {
 	e.putUint8(kvOpPut)
 	e.putString(key)
 	e.putBytes(value)
+	obsv.AddStoreWriteBytes(len(e.bytes()))
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	if _, err := kv.log.Append(e.bytes()); err != nil {

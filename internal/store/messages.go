@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"mwskit/internal/attr"
+	"mwskit/internal/obsv"
 	"mwskit/internal/wal"
 )
 
@@ -120,6 +122,7 @@ func OpenMessageStore(dir string, sync wal.SyncPolicy) (*MessageStore, error) {
 	}
 	ms := &MessageStore{log: log, byAttr: make(map[attr.Attribute][]uint64)}
 	err = log.Iterate(func(seq uint64, payload []byte) error {
+		obsv.AddStoreReadBytes(len(payload))
 		m, err := decodeMessage(seq, payload)
 		if err != nil {
 			return err
@@ -142,6 +145,14 @@ func (ms *MessageStore) index(m *Message) {
 // Put durably appends a message and returns its assigned sequence number.
 // The caller's Message.Seq is ignored.
 func (ms *MessageStore) Put(m *Message) (uint64, error) {
+	//mwslint:ignore ctxflow context-free compatibility shim; the request path uses PutContext
+	return ms.PutContext(context.Background(), m)
+}
+
+// PutContext is Put under a request context: when the context carries a
+// trace, the WAL append lands as its own span so fsync stalls are
+// attributable in the slow-request log.
+func (ms *MessageStore) PutContext(ctx context.Context, m *Message) (uint64, error) {
 	if m == nil {
 		return 0, errors.New("store: nil message")
 	}
@@ -149,9 +160,14 @@ func (ms *MessageStore) Put(m *Message) (uint64, error) {
 		return 0, err
 	}
 	cp := *m
+	payload := cp.encode()
+	obsv.AddStoreWriteBytes(len(payload))
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
-	seq, err := ms.log.Append(cp.encode())
+	_, sp := obsv.StartSpan(ctx, "wal.append")
+	seq, err := ms.log.Append(payload)
+	sp.SetErr(err)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
@@ -179,15 +195,18 @@ func (ms *MessageStore) ListByAttribute(a attr.Attribute, fromSeq uint64, limit 
 	defer ms.mu.RUnlock()
 	seqs := ms.byAttr[a]
 	out := make([]*Message, 0, len(seqs))
+	read := 0
 	for _, s := range seqs {
 		if s < fromSeq {
 			continue
 		}
 		out = append(out, ms.msgs[s])
+		read += len(ms.msgs[s].U) + len(ms.msgs[s].Ciphertext)
 		if limit > 0 && len(out) == limit {
 			break
 		}
 	}
+	obsv.AddStoreReadBytes(read)
 	return out
 }
 
@@ -197,17 +216,20 @@ func (ms *MessageStore) ListByAttributes(set attr.Set, fromSeq uint64, limit int
 	ms.mu.RLock()
 	defer ms.mu.RUnlock()
 	var out []*Message
+	read := 0
 	for _, m := range ms.msgs {
 		if m.Seq < fromSeq {
 			continue
 		}
 		if set.Contains(m.Attribute) {
 			out = append(out, m)
+			read += len(m.U) + len(m.Ciphertext)
 			if limit > 0 && len(out) == limit {
 				break
 			}
 		}
 	}
+	obsv.AddStoreReadBytes(read)
 	return out
 }
 

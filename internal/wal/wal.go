@@ -26,6 +26,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"mwskit/internal/obsv"
 )
 
 // SyncPolicy controls when appends reach stable storage.
@@ -166,6 +169,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	start := time.Now()
 	frame := make([]byte, headerLen+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
@@ -173,25 +177,37 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if _, err := l.active.Write(frame); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
+	// Append latency covers the frame write only; fsync cost is tracked
+	// separately so the sync policy's contribution stays attributable.
+	obsv.ObserveWALAppend(time.Since(start))
 	l.activeSize += int64(len(frame))
 	seq := l.nextSeq
 	l.nextSeq++
 	l.appends++
 	switch l.opts.Sync {
 	case SyncAlways:
-		if err := l.active.Sync(); err != nil {
+		if err := l.syncActiveLocked(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 		l.appends = 0
 	case SyncInterval:
 		if l.appends >= l.opts.SyncEvery {
-			if err := l.active.Sync(); err != nil {
+			if err := l.syncActiveLocked(); err != nil {
 				return 0, fmt.Errorf("wal: sync: %w", err)
 			}
 			l.appends = 0
 		}
 	}
 	return seq, nil
+}
+
+// syncActiveLocked syncs the active segment, feeding the fsync-latency
+// telemetry. Callers hold l.mu.
+func (l *Log) syncActiveLocked() error {
+	start := time.Now()
+	err := l.active.Sync()
+	obsv.ObserveWALFsync(time.Since(start))
+	return err
 }
 
 func (l *Log) rotateLocked() error {
@@ -212,7 +228,7 @@ func (l *Log) Sync() error {
 		return ErrClosed
 	}
 	l.appends = 0
-	return l.active.Sync()
+	return l.syncActiveLocked()
 }
 
 // Len returns the number of intact records in the log.

@@ -12,10 +12,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"mwskit/internal/obsv"
 )
 
 // Magic identifies protocol version 1 frames.
 var Magic = [4]byte{'M', 'W', 'S', '1'}
+
+// Magic2 identifies protocol version 2 frames: same framing as v1 plus a
+// flags byte and optional extension blocks (today: a trace context).
+// Writers emit v2 only when an extension is present, so a peer that never
+// uses extensions is byte-for-byte a v1 peer and old servers are
+// unaffected; see Client.EnableTrace for the version probe.
+var Magic2 = [4]byte{'M', 'W', 'S', '2'}
 
 // Type tags the payload carried by a frame.
 type Type uint8
@@ -38,6 +47,8 @@ const (
 	TTrapdoorResp Type = 12
 	TStats        Type = 13
 	TStatsResp    Type = 14
+	TTrace        Type = 15
+	TTraceResp    Type = 16
 )
 
 // String implements fmt.Stringer for log lines.
@@ -73,6 +84,10 @@ func (t Type) String() string {
 		return "Stats"
 	case TStatsResp:
 		return "StatsResp"
+	case TTrace:
+		return "Trace"
+	case TTraceResp:
+		return "TraceResp"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -82,24 +97,60 @@ func (t Type) String() string {
 // force unbounded allocation.
 const MaxFrameLen = 16 << 20
 
-// Frame is one protocol message.
+// Frame is one protocol message. Trace is the optional v2 extension: a
+// zero Trace produces a v1 frame on the wire, a valid one a v2 frame
+// carrying the trace block.
 type Frame struct {
 	Type    Type
 	Payload []byte
+	Trace   obsv.TraceContext
 }
 
-// frame header: magic(4) + type(1) + len(4)
+// frame header v1: magic(4) + type(1) + len(4)
 const headerLen = 9
 
-// WriteFrame writes a frame to w.
+// frame header v2: magic(4) + type(1) + flags(1) + len(4), then extension
+// blocks selected by flags, then the payload.
+const headerLenV2 = 10
+
+// v2 header flag bits.
+const (
+	// flagTrace marks a 16-byte trace block (trace ID, span ID) between
+	// header and payload.
+	flagTrace uint8 = 1 << 0
+	// knownFlags guards against peers speaking a future dialect: a frame
+	// with flags we cannot parse cannot be framed correctly, so it is a
+	// hard error rather than a skippable extension.
+	knownFlags = flagTrace
+)
+
+// traceBlockLen is the wire size of the flagTrace extension block.
+const traceBlockLen = 16
+
+// WriteFrame writes a frame to w, choosing v1 or v2 encoding by whether
+// the frame carries an extension.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrameLen {
 		return fmt.Errorf("wire: frame payload %d exceeds limit", len(f.Payload))
 	}
-	var hdr [headerLen]byte
-	copy(hdr[:4], Magic[:])
+	if !f.Trace.Valid() {
+		var hdr [headerLen]byte
+		copy(hdr[:4], Magic[:])
+		hdr[4] = byte(f.Type)
+		binary.BigEndian.PutUint32(hdr[5:9], uint32(len(f.Payload)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(f.Payload)
+		return err
+	}
+	var hdr [headerLenV2 + traceBlockLen]byte
+	copy(hdr[:4], Magic2[:])
 	hdr[4] = byte(f.Type)
-	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(f.Payload)))
+	hdr[5] = flagTrace
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint64(hdr[10:18], f.Trace.TraceID)
+	binary.BigEndian.PutUint64(hdr[18:26], f.Trace.SpanID)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -107,28 +158,62 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ErrBadMagic indicates the peer is not speaking MWS protocol v1.
+// ErrBadMagic indicates the peer is not speaking a known MWS protocol
+// version.
 var ErrBadMagic = errors.New("wire: bad magic")
 
-// ReadFrame reads one frame from r, rejecting oversized or mis-tagged
-// input before allocating.
+// ReadFrame reads one frame (either protocol version) from r, rejecting
+// oversized or mis-tagged input before allocating.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return Frame{}, err
 	}
-	if [4]byte(hdr[:4]) != Magic {
+	switch magic {
+	case Magic:
+		var rest [headerLen - 4]byte
+		if _, err := io.ReadFull(r, rest[:]); err != nil {
+			return Frame{}, err
+		}
+		n := binary.BigEndian.Uint32(rest[1:5])
+		if n > MaxFrameLen {
+			return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return Frame{}, err
+		}
+		return Frame{Type: Type(rest[0]), Payload: payload}, nil
+	case Magic2:
+		var rest [headerLenV2 - 4]byte
+		if _, err := io.ReadFull(r, rest[:]); err != nil {
+			return Frame{}, err
+		}
+		flags := rest[1]
+		if flags&^knownFlags != 0 {
+			return Frame{}, fmt.Errorf("wire: unknown v2 flags %#02x", flags)
+		}
+		n := binary.BigEndian.Uint32(rest[2:6])
+		if n > MaxFrameLen {
+			return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit", n)
+		}
+		f := Frame{Type: Type(rest[0])}
+		if flags&flagTrace != 0 {
+			var tb [traceBlockLen]byte
+			if _, err := io.ReadFull(r, tb[:]); err != nil {
+				return Frame{}, err
+			}
+			f.Trace.TraceID = binary.BigEndian.Uint64(tb[0:8])
+			f.Trace.SpanID = binary.BigEndian.Uint64(tb[8:16])
+		}
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
+		return f, nil
+	default:
 		return Frame{}, ErrBadMagic
 	}
-	n := binary.BigEndian.Uint32(hdr[5:9])
-	if n > MaxFrameLen {
-		return Frame{}, fmt.Errorf("wire: frame payload %d exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return Frame{}, err
-	}
-	return Frame{Type: Type(hdr[4]), Payload: payload}, nil
 }
 
 // ReadFrameBuffered is ReadFrame over a bufio.Reader (avoids tiny reads).

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"mwskit/internal/obsv"
 )
 
 // FuzzReadFrame drives the framing layer with arbitrary bytes: whatever
@@ -13,6 +15,7 @@ func FuzzReadFrame(f *testing.F) {
 		{Type: TPing},
 		{Type: TDeposit, Payload: []byte("payload")},
 		{Type: TError, Payload: (&ErrorMsg{Code: CodeAuth, Message: "bad mac"}).Marshal()},
+		{Type: TDeposit, Payload: []byte("traced"), Trace: obsv.TraceContext{TraceID: 7, SpanID: 9}},
 	} {
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, fr); err != nil {
@@ -33,7 +36,7 @@ func FuzzReadFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decoding a re-encoded frame: %v", err)
 		}
-		if back.Type != fr.Type || !bytes.Equal(back.Payload, fr.Payload) {
+		if back.Type != fr.Type || !bytes.Equal(back.Payload, fr.Payload) || back.Trace != fr.Trace {
 			t.Fatalf("round trip changed the frame: %v != %v", back, fr)
 		}
 	})
@@ -68,6 +71,62 @@ func FuzzDepositRequestCodec(f *testing.F) {
 		}
 		if !bytes.Equal(r2.Marshal(), enc) {
 			t.Fatal("deposit encoding is not a fix-point")
+		}
+	})
+}
+
+// FuzzTraceResponseCodec drives the span-record codec to a fix-point:
+// any payload that decodes must re-encode to a stable byte string that
+// decodes again — the TTrace introspection op faces untrusted peers
+// like every other decoder.
+func FuzzTraceResponseCodec(f *testing.F) {
+	valid := (&TraceResponse{Spans: []obsv.SpanRecord{{
+		TraceID: 1, SpanID: 2, ParentID: 3,
+		Service: "mws", Name: "Deposit",
+		Attrs: []obsv.Attr{{Key: "device", Value: "meter-7"}},
+	}}}).Marshal()
+	f.Add(valid)
+	f.Add((&TraceResponse{}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalTraceResponse(data)
+		if err != nil {
+			return
+		}
+		enc := r.Marshal()
+		r2, err := UnmarshalTraceResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded trace response: %v", err)
+		}
+		if !bytes.Equal(r2.Marshal(), enc) {
+			t.Fatal("trace response encoding is not a fix-point")
+		}
+	})
+}
+
+// FuzzStatsResponseCodec checks the counter-extended stats codec,
+// including the optional trailing counter/gauge block.
+func FuzzStatsResponseCodec(f *testing.F) {
+	valid := (&StatsResponse{
+		Ops:      []OpStat{{Op: "Deposit", Requests: 3, Errors: 1, MeanNs: 5}},
+		Counters: []CounterStat{{Name: "pairing_ops", Labels: []LabelPair{{Key: "op", Value: "Deposit"}}, Value: 9}},
+		Gauges:   []GaugeStat{{Name: "wal_fsync_p99_ns", Value: 100}},
+	}).Marshal()
+	f.Add(valid)
+	f.Add((&StatsResponse{Ops: []OpStat{{Op: "Ping"}}}).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalStatsResponse(data)
+		if err != nil {
+			return
+		}
+		enc := r.Marshal()
+		r2, err := UnmarshalStatsResponse(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded stats response: %v", err)
+		}
+		if !bytes.Equal(r2.Marshal(), enc) {
+			t.Fatal("stats response encoding is not a fix-point")
 		}
 	})
 }

@@ -23,6 +23,9 @@ func TestDecodersNeverPanic(t *testing.T) {
 		"ParamsResponse":   func(b []byte) { _, _ = UnmarshalParamsResponse(b) },
 		"TrapdoorRequest":  func(b []byte) { _, _ = UnmarshalTrapdoorRequest(b) },
 		"TrapdoorResponse": func(b []byte) { _, _ = UnmarshalTrapdoorResponse(b) },
+		"StatsResponse":    func(b []byte) { _, _ = UnmarshalStatsResponse(b) },
+		"TraceRequest":     func(b []byte) { _, _ = UnmarshalTraceRequest(b) },
+		"TraceResponse":    func(b []byte) { _, _ = UnmarshalTraceResponse(b) },
 	}
 	for name, dec := range decoders {
 		name, dec := name, dec

@@ -572,10 +572,38 @@ type OpStat struct {
 	MaxNs    int64
 }
 
+// LabelPair is one key=value dimension on a CounterStat or GaugeStat.
+type LabelPair struct {
+	Key   string
+	Value string
+}
+
+// CounterStat is one labeled monotonic counter series as reported over
+// the wire (crypto-stage counters, error-by-code series).
+type CounterStat struct {
+	Name   string
+	Labels []LabelPair
+	Value  uint64
+}
+
+// GaugeStat is one labeled instantaneous value (WAL latency percentiles,
+// cache sizes).
+type GaugeStat struct {
+	Name   string
+	Labels []LabelPair
+	Value  int64
+}
+
 // StatsResponse answers a TStats introspection request with one OpStat per
-// instrumented operation, sorted by op name.
+// instrumented operation, sorted by op name, plus (since v2 of the
+// message) labeled counter and gauge series. The counter/gauge block is
+// an optional trailing section: encoders omit it when empty, so a
+// counter-free response is byte-identical to the v1 message and old
+// decoders keep working.
 type StatsResponse struct {
-	Ops []OpStat
+	Ops      []OpStat
+	Counters []CounterStat
+	Gauges   []GaugeStat
 }
 
 // Marshal encodes the message.
@@ -593,7 +621,53 @@ func (r *StatsResponse) Marshal() []byte {
 		e.Int64(op.P99Ns)
 		e.Int64(op.MaxNs)
 	}
+	if len(r.Counters) > 0 || len(r.Gauges) > 0 {
+		e.Uint32(uint32(len(r.Counters)))
+		for _, c := range r.Counters {
+			e.Str(c.Name)
+			encodeLabels(&e, c.Labels)
+			e.Uint64(c.Value)
+		}
+		e.Uint32(uint32(len(r.Gauges)))
+		for _, g := range r.Gauges {
+			e.Str(g.Name)
+			encodeLabels(&e, g.Labels)
+			e.Int64(g.Value)
+		}
+	}
 	return e.Bytes()
+}
+
+// encodeLabels / decodeLabels carry a bounded label set.
+func encodeLabels(e *Encoder, labels []LabelPair) {
+	e.Uint32(uint32(len(labels)))
+	for _, l := range labels {
+		e.Str(l.Key)
+		e.Str(l.Value)
+	}
+}
+
+func decodeLabels(d *Decoder) ([]LabelPair, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, errors.New("wire: implausible label count")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]LabelPair, n)
+	for i := range out {
+		if out[i].Key, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if out[i].Value, err = d.Str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // UnmarshalStatsResponse decodes a StatsResponse payload.
@@ -622,6 +696,49 @@ func UnmarshalStatsResponse(b []byte) (*StatsResponse, error) {
 			if *dst, err = d.Int64(); err != nil {
 				return nil, err
 			}
+		}
+	}
+	if d.Remaining() == 0 {
+		return r, nil // v1 message without the counter/gauge block
+	}
+	nc, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if nc > 1<<16 {
+		return nil, errors.New("wire: implausible counter count")
+	}
+	r.Counters = make([]CounterStat, nc)
+	for i := range r.Counters {
+		c := &r.Counters[i]
+		if c.Name, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if c.Labels, err = decodeLabels(d); err != nil {
+			return nil, err
+		}
+		if c.Value, err = d.Uint64(); err != nil {
+			return nil, err
+		}
+	}
+	ng, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if ng > 1<<16 {
+		return nil, errors.New("wire: implausible gauge count")
+	}
+	r.Gauges = make([]GaugeStat, ng)
+	for i := range r.Gauges {
+		g := &r.Gauges[i]
+		if g.Name, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if g.Labels, err = decodeLabels(d); err != nil {
+			return nil, err
+		}
+		if g.Value, err = d.Int64(); err != nil {
+			return nil, err
 		}
 	}
 	return r, d.Done()

@@ -3,12 +3,14 @@ package wire
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"mwskit/internal/metrics"
+	"mwskit/internal/obsv"
 )
 
 // Middleware wraps a Handler with cross-cutting behaviour (recovery,
@@ -96,7 +98,10 @@ func Route[Req any, Resp interface{ Marshal() []byte }](
 	handle func(ctx context.Context, req Req) (Resp, error),
 ) {
 	r.HandleFunc(reqType, func(ctx context.Context, f Frame) Frame {
+		_, sp := obsv.StartSpan(ctx, "decode")
 		req, err := unmarshal(f.Payload)
+		sp.SetErr(err)
+		sp.End()
 		if err != nil {
 			return ErrorFrame(CodeBadRequest, "bad %s request: %v", reqType, err)
 		}
@@ -195,20 +200,59 @@ func WithTimeout(d time.Duration) Middleware {
 }
 
 // Instrument is middleware recording per-op request counts, error counts,
-// and latency into reg, keyed by the request frame type's name.
+// and latency into reg, keyed by the request frame type's name. Error
+// responses are additionally attributed to their structured code so the
+// periodic stats line can tell auth failures from timeouts.
 func Instrument(reg *metrics.Registry) Middleware {
 	return func(next Handler) Handler {
 		return HandlerFunc(func(ctx context.Context, f Frame) Frame {
 			start := time.Now()
 			resp := next.Handle(ctx, f)
-			reg.Observe(f.Type.String(), time.Since(start), resp.Type == TError)
+			op := f.Type.String()
+			isErr := resp.Type == TError
+			reg.Observe(op, time.Since(start), isErr)
+			if isErr {
+				if em, err := UnmarshalErrorMsg(resp.Payload); err == nil {
+					reg.ObserveCode(op, em.Code)
+				}
+			}
 			return resp
 		})
 	}
 }
 
-// StatsFromRegistry renders a registry snapshot as a wire StatsResponse,
-// ops sorted by name.
+// Trace is middleware that roots a server-side span tree for every
+// request: the span inherits the trace ID carried in a v2 frame (so the
+// server's stages stitch onto the client's trace) or mints one for
+// untraced peers so the slow-request log still fires for them. Install
+// it outermost — ahead of Instrument — so every stage, decode included,
+// lands inside the root span.
+func Trace(t *obsv.Tracer) Middleware {
+	return func(next Handler) Handler {
+		if t == nil {
+			return next
+		}
+		return HandlerFunc(func(ctx context.Context, f Frame) Frame {
+			ctx, sp := t.StartRemote(ctx, f.Type.String(), f.Trace)
+			if p := Peer(ctx); p != nil {
+				sp.SetAttr("peer", p.String())
+			}
+			resp := next.Handle(ctx, f)
+			if resp.Type == TError {
+				if em, err := UnmarshalErrorMsg(resp.Payload); err == nil {
+					sp.SetErr(em)
+				}
+			}
+			sp.End()
+			return resp
+		})
+	}
+}
+
+// StatsFromRegistry renders a registry snapshot as a wire StatsResponse:
+// per-op series sorted by name, the registry's labeled counters and
+// gauges, per-code error counts (as errors_by_code{op,code} series), and
+// the process-wide crypto/storage counters from obsv.
 func StatsFromRegistry(reg *metrics.Registry) *StatsResponse {
 	snap := reg.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -231,7 +275,46 @@ func StatsFromRegistry(reg *metrics.Registry) *StatsResponse {
 			MaxNs:    int64(s.Latency.Max),
 		})
 	}
+	for _, op := range names {
+		codes := snap[op].ErrorCodes
+		ids := make([]uint32, 0, len(codes))
+		for c := range codes {
+			ids = append(ids, c)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, c := range ids {
+			resp.Counters = append(resp.Counters, CounterStat{
+				Name:   "errors_by_code",
+				Labels: []LabelPair{{Key: "op", Value: op}, {Key: "code", Value: fmt.Sprintf("%d", c)}},
+				Value:  codes[c],
+			})
+		}
+	}
+	for _, c := range reg.Counters() {
+		resp.Counters = append(resp.Counters, CounterStat{Name: c.Name, Labels: toLabelPairs(c.Labels), Value: c.Value})
+	}
+	for _, c := range obsv.GlobalCounters() {
+		resp.Counters = append(resp.Counters, CounterStat{Name: c.Name, Labels: toLabelPairs(c.Labels), Value: c.Value})
+	}
+	for _, g := range reg.Gauges() {
+		resp.Gauges = append(resp.Gauges, GaugeStat{Name: g.Name, Labels: toLabelPairs(g.Labels), Value: g.Value})
+	}
+	for _, g := range obsv.GlobalGauges() {
+		resp.Gauges = append(resp.Gauges, GaugeStat{Name: g.Name, Labels: toLabelPairs(g.Labels), Value: g.Value})
+	}
 	return resp
+}
+
+// toLabelPairs converts metrics labels to their wire shape.
+func toLabelPairs(ls []metrics.Label) []LabelPair {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := make([]LabelPair, len(ls))
+	for i, l := range ls {
+		out[i] = LabelPair{Key: l.Key, Value: l.Value}
+	}
+	return out
 }
 
 // RegisterStats exposes reg on the router as the TStats introspection op.
@@ -239,4 +322,21 @@ func RegisterStats(r *Router, reg *metrics.Registry) {
 	r.HandleFunc(TStats, func(ctx context.Context, f Frame) Frame {
 		return Frame{Type: TStatsResp, Payload: StatsFromRegistry(reg).Marshal()}
 	})
+}
+
+// defaultTraceLimit bounds a TTrace reply when the request does not
+// choose.
+const defaultTraceLimit = 512
+
+// RegisterTrace exposes the tracer's span ring on the router as the
+// TTrace introspection op.
+func RegisterTrace(r *Router, t *obsv.Tracer) {
+	Route(r, TTrace, TTraceResp, UnmarshalTraceRequest,
+		func(ctx context.Context, req *TraceRequest) (*TraceResponse, error) {
+			limit := int(req.Limit)
+			if limit <= 0 || limit > maxTraceSpans {
+				limit = defaultTraceLimit
+			}
+			return &TraceResponse{Spans: t.Snapshot(limit, req.TraceID)}, nil
+		})
 }

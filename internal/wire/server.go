@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"mwskit/internal/obsv"
 )
 
 // Handler answers one request frame with one response frame. The context
@@ -172,6 +174,25 @@ func (s *Server) rejectConn(conn net.Conn) {
 	conn.Close()
 }
 
+// countingReader / countingWriter sit between the bufio layer and the
+// socket so the conn_in/out_bytes counters measure actual transport
+// traffic (headers included), not payload sizes.
+type countingReader struct{ r io.Reader }
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	obsv.AddConnInBytes(n)
+	return n, err
+}
+
+type countingWriter struct{ w io.Writer }
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	obsv.AddConnOutBytes(n)
+	return n, err
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -180,8 +201,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	ctx := context.WithValue(s.baseCtx, peerKey{}, conn.RemoteAddr())
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(countingReader{r: conn})
+	bw := bufio.NewWriter(countingWriter{w: conn})
 	for {
 		if s.idleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
@@ -262,9 +283,14 @@ func (s *Server) Close() error {
 // one Client can be shared across goroutines.
 type Client struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	// traceOK records the outcome of EnableTrace: only after a successful
+	// v2 probe will Do put trace blocks on the wire. Until then outgoing
+	// frames are stripped to v1, so an old server never sees v2 magic.
+	traceOK bool
 }
 
 // Dial connects to a wire server. Callers that own a context (anything on
@@ -281,14 +307,68 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	return &Client{addr: addr, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// EnableTrace negotiates protocol v2 by probing the server with a traced
+// ping. On success every subsequent traced Do carries its trace block;
+// on failure — a v1 server kills the connection at the unknown magic —
+// the client transparently redials and keeps speaking v1, so old peers
+// are unaffected beyond one extra round trip at setup. Returns whether
+// the peer accepted v2.
+func (c *Client) EnableTrace(ctx context.Context) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.traceOK {
+		return true, nil
+	}
+	probe := Frame{Type: TPing, Trace: obsv.TraceContext{TraceID: obsv.NewTraceID(), SpanID: obsv.NewTraceID()}}
+	err := func() error {
+		if err := WriteFrame(c.bw, probe); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		resp, err := ReadFrame(c.br)
+		if err != nil {
+			return err
+		}
+		if resp.Type == TError {
+			em, derr := UnmarshalErrorMsg(resp.Payload)
+			if derr != nil {
+				return fmt.Errorf("wire: undecodable error response: %w", derr)
+			}
+			return em
+		}
+		return nil
+	}()
+	if err == nil {
+		c.traceOK = true
+		return true, nil
+	}
+	// The peer rejected (or tore down on) v2: reconnect and stay on v1.
+	c.conn.Close()
+	var d net.Dialer
+	conn, derr := d.DialContext(ctx, "tcp", c.addr)
+	if derr != nil {
+		return false, fmt.Errorf("wire: redial %s after v2 probe: %w", c.addr, derr)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	return false, nil
 }
 
 // Do sends a request frame and reads the response frame. A TError
-// response is decoded and returned as *ErrorMsg.
+// response is decoded and returned as *ErrorMsg. Trace blocks are
+// stripped unless EnableTrace negotiated protocol v2 on this connection.
 func (c *Client) Do(req Frame) (Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.traceOK {
+		req.Trace = obsv.TraceContext{}
+	}
 	if err := WriteFrame(c.bw, req); err != nil {
 		return Frame{}, err
 	}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"mwskit/internal/obsv"
+)
+
+func TestTraceRequestRoundTrip(t *testing.T) {
+	r := &TraceRequest{TraceID: 0xCAFEBABE12345678, Limit: 64}
+	got, err := UnmarshalTraceRequest(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+	zero, err := UnmarshalTraceRequest((&TraceRequest{}).Marshal())
+	if err != nil || zero.TraceID != 0 || zero.Limit != 0 {
+		t.Fatalf("zero round trip = %+v, %v", zero, err)
+	}
+}
+
+func TestTraceResponseRoundTrip(t *testing.T) {
+	start := time.Unix(1278000000, 987654321).UTC()
+	r := &TraceResponse{Spans: []obsv.SpanRecord{
+		{
+			TraceID:  1,
+			SpanID:   2,
+			ParentID: 3,
+			Service:  "mws",
+			Name:     "Deposit",
+			Start:    start,
+			Duration: 1500 * time.Microsecond,
+			Err:      "deadline exceeded",
+			Attrs:    []obsv.Attr{{Key: "device", Value: "meter-7"}, {Key: "bytes", Value: "128"}},
+		},
+		{TraceID: 1, SpanID: 4, ParentID: 2, Service: "mws", Name: "wal.append", Start: start, Duration: time.Millisecond},
+	}}
+	got, err := UnmarshalTraceResponse(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+	empty, err := UnmarshalTraceResponse((&TraceResponse{}).Marshal())
+	if err != nil || len(empty.Spans) != 0 {
+		t.Fatalf("empty round trip = %+v, %v", empty, err)
+	}
+}
+
+func TestTraceResponseRejectsImplausibleCounts(t *testing.T) {
+	var e Encoder
+	e.Uint32(maxTraceSpans + 1)
+	if _, err := UnmarshalTraceResponse(e.Bytes()); err == nil {
+		t.Fatal("implausible span count accepted")
+	}
+}
+
+func TestStatsResponseCounterRoundTrip(t *testing.T) {
+	r := &StatsResponse{
+		Ops: []OpStat{{Op: "Deposit", Requests: 10, Errors: 2, MinNs: 1, MeanNs: 5, P50Ns: 4, P90Ns: 8, P99Ns: 9, MaxNs: 12}},
+		Counters: []CounterStat{
+			{Name: "errors_by_code", Labels: []LabelPair{{Key: "code", Value: "2"}, {Key: "op", Value: "Deposit"}}, Value: 2},
+			{Name: "pairing_ops", Value: 42},
+		},
+		Gauges: []GaugeStat{{Name: "wal_fsync_p99_ns", Value: 123456}},
+	}
+	got, err := UnmarshalStatsResponse(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+// TestStatsResponseBackwardCompatible pins the optional-trailing-block
+// contract: a counter-free response is byte-identical to the v1 message,
+// and a v1 payload (ops only, no counter block) still decodes.
+func TestStatsResponseBackwardCompatible(t *testing.T) {
+	ops := []OpStat{{Op: "Ping", Requests: 1}}
+	v1 := func() []byte { // the pre-counter encoding: ops only
+		var e Encoder
+		e.Uint32(uint32(len(ops)))
+		for _, op := range ops {
+			e.Str(op.Op)
+			e.Uint64(op.Requests)
+			e.Uint64(op.Errors)
+			e.Int64(op.MinNs)
+			e.Int64(op.MeanNs)
+			e.Int64(op.P50Ns)
+			e.Int64(op.P90Ns)
+			e.Int64(op.P99Ns)
+			e.Int64(op.MaxNs)
+		}
+		return e.Bytes()
+	}()
+	if got := (&StatsResponse{Ops: ops}).Marshal(); !bytes.Equal(got, v1) {
+		t.Fatalf("counter-free encoding diverges from v1:\n got %x\nwant %x", got, v1)
+	}
+	got, err := UnmarshalStatsResponse(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != 1 || got.Ops[0].Op != "Ping" || got.Counters != nil || got.Gauges != nil {
+		t.Fatalf("v1 decode = %+v", got)
+	}
+}
+
+// TestFrameTraceRoundTrip exercises the extended (v2) frame header: a
+// frame carrying a trace context survives the wire, an untraced frame
+// stays byte-identical to the v1 encoding, and unknown header flags are
+// rejected rather than silently skipped.
+func TestFrameTraceRoundTrip(t *testing.T) {
+	tc := obsv.TraceContext{TraceID: 0x1122334455667788, SpanID: 0x99AABBCCDDEEFF00}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TDeposit, Payload: []byte("p"), Trace: tc}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), Magic2[:]) {
+		t.Fatalf("traced frame does not start with v2 magic: %x", buf.Bytes()[:4])
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TDeposit || !bytes.Equal(got.Payload, []byte("p")) || got.Trace != tc {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	// Untraced frames must remain byte-identical to v1 so old peers are
+	// unaffected.
+	var v1 bytes.Buffer
+	if err := WriteFrame(&v1, Frame{Type: TPing}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(v1.Bytes(), Magic[:]) {
+		t.Fatalf("untraced frame uses extended header: %x", v1.Bytes())
+	}
+
+	// A v2 header with an unknown flag bit must be rejected: skipping
+	// unknown extensions silently would desynchronize the stream.
+	raw := append([]byte{}, Magic2[:]...)
+	raw = append(raw, byte(TPing), 0x80, 0, 0, 0, 0)
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown v2 flag accepted")
+	}
+}
+
+func TestFrameV2Truncation(t *testing.T) {
+	var buf bytes.Buffer
+	tc := obsv.TraceContext{TraceID: 7, SpanID: 8}
+	if err := WriteFrame(&buf, Frame{Type: TDeposit, Payload: []byte("payload"), Trace: tc}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncated v2 frame of %d bytes accepted", cut)
+		}
+	}
+}
