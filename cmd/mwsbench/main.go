@@ -21,6 +21,7 @@ import (
 	"mwskit/internal/obsv"
 	"mwskit/internal/rclient"
 	"mwskit/internal/sim"
+	"mwskit/internal/storage"
 	"mwskit/internal/wal"
 )
 
@@ -36,6 +37,9 @@ type benchReport struct {
 	Deposit    depositResult    `json:"deposit"`
 	Counters   counterResult    `json:"deposit_counters"`
 	Retrieve   []retrieveResult `json:"retrieve"`
+	// Storage holds the mixed-phase backend comparison (-compare-storage):
+	// local vs sharded under SyncAlways, concurrent depositors + retrievers.
+	Storage []storageBenchResult `json:"storage,omitempty"`
 }
 
 type depositResult struct {
@@ -107,6 +111,13 @@ func main() {
 	nonceEpoch := flag.Int("nonce-epoch", 1, "deposits sharing one nonce per device (1 = fresh nonce per message)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	microBudget := flag.Duration("micro-budget", time.Second, "time budget per phase-0 microbenchmark")
+	storageBackend := flag.String("storage", "", "storage backend for the main deployment (empty = local)")
+	shards := flag.Int("shards", 8, "partition count for the sharded backend")
+	groupCommit := flag.Duration("group-commit", storage.DefaultGroupCommit, "extra fsync batching delay for the sharded backend (0 = batch only during in-flight syncs)")
+	compareStorage := flag.Bool("compare-storage", false, "also run the mixed concurrent deposit/retrieve phase on local vs sharded backends (SyncAlways) and report both")
+	mixedWorkers := flag.Int("mixed-workers", 8, "depositor goroutines in the mixed phase")
+	mixedMessages := flag.Int("mixed-messages", 400, "total deposits in the mixed phase")
+	mixedAttrs := flag.Int("mixed-attrs", 16, "distinct attributes in the mixed phase")
 	flag.Parse()
 
 	// Phase 0: offline crypto microbenchmarks, no deployment involved.
@@ -133,6 +144,11 @@ func main() {
 		Preset: *preset,
 		Scheme: *scheme,
 		Sync:   wal.SyncNever,
+		Storage: storage.Options{
+			Backend:     *storageBackend,
+			Shards:      *shards,
+			GroupCommit: *groupCommit,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -265,6 +281,14 @@ func main() {
 			Messages:  len(msgs),
 			MsgPerSec: metrics.Throughput(len(msgs), elapsed),
 		})
+	}
+
+	// Phase 4 (optional): the storage-backend comparison on fresh
+	// deployments, after the main deployment's phases are done so the
+	// obsv counter brackets don't interleave.
+	if *compareStorage {
+		report.Storage = compareStorageBackends(*preset, *scheme, *shards, *groupCommit,
+			*mixedWorkers, *mixedMessages, *mixedAttrs)
 	}
 
 	if *jsonPath != "" {

@@ -46,6 +46,7 @@ import (
 	"mwskit/internal/obsv"
 	"mwskit/internal/policy"
 	"mwskit/internal/policyrule"
+	"mwskit/internal/storage"
 	"mwskit/internal/wire"
 )
 
@@ -65,6 +66,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /traces, /healthz, /debug/pprof on this address (empty = disabled; bind localhost — it exposes profiles and span attributes)")
 	traceRing := flag.Int("trace-ring", 4096, "finished-span ring capacity for /traces and the TTrace op")
 	slowReq := flag.Duration("slow-request", time.Second, "log the span tree of requests slower than this (0 disables)")
+	storageBackend := flag.String("storage", "", "storage backend: "+strings.Join(storage.Backends(), ", ")+" (empty = auto: keep an existing sharded layout, else local)")
+	shards := flag.Int("shards", 0, "partition count for -storage sharded (0 = default 8; fixed at directory creation)")
+	groupCommit := flag.Duration("group-commit", storage.DefaultGroupCommit, "extra fsync batching delay for -storage sharded (0 = batch only appends that land while a sync is in flight)")
+	compactEvery := flag.Duration("compact-every", 10*time.Minute, "background KV compaction sweep period (0 disables)")
+	compactMinMuts := flag.Uint64("compact-min-mutations", 4096, "compact a KV store only after this many logged mutations (and mutations > 2x live keys)")
 	flag.Parse()
 
 	logger, err := newLogger(*logLevel)
@@ -98,6 +104,11 @@ func main() {
 		RequestTimeout:  *reqTimeout,
 		Logger:          logger,
 		Tracer:          tracer,
+		Storage: storage.Options{
+			Backend:     *storageBackend,
+			Shards:      *shards,
+			GroupCommit: *groupCommit,
+		},
 	})
 	if err != nil {
 		die(logger, "open service", err)
@@ -127,7 +138,9 @@ func main() {
 			die(logger, "listen", err)
 		}
 		logger.Info("serving MWS", "addr", bound.String(), "dir", *dir,
-			"request_timeout", *reqTimeout, "max_conns", *maxConns)
+			"request_timeout", *reqTimeout, "max_conns", *maxConns,
+			"storage_shards", svc.Store().Shards())
+		svc.StartAutoCompact(*compactEvery, *compactMinMuts)
 		if *debugAddr != "" {
 			dsrv, dbound, err := obsv.ServeDebug(*debugAddr, "mws", svc.StatsRegistry(), tracer)
 			if err != nil {

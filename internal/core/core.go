@@ -37,8 +37,8 @@ import (
 	"mwskit/internal/mws"
 	"mwskit/internal/obsv"
 	"mwskit/internal/rclient"
+	"mwskit/internal/storage"
 	"mwskit/internal/symenc"
-	"mwskit/internal/wal"
 	"mwskit/internal/wire"
 )
 
@@ -65,7 +65,11 @@ type DeploymentConfig struct {
 	MaxConns int
 	// Sync selects store durability (default SyncAlways; tests and
 	// benchmarks use SyncNever).
-	Sync wal.SyncPolicy
+	Sync storage.SyncPolicy
+	// Storage selects and tunes the MWS persistence backend (zero value:
+	// the local single-store layout). The PKG's small master-key store
+	// always uses the standalone local KV.
+	Storage storage.Options
 	// RSABits sizes client token-wrapping keys (default 2048).
 	RSABits int
 	// Rand is the entropy source (default crypto/rand).
@@ -151,6 +155,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Now:             cfg.Now,
 		Logger:          cfg.Logger,
 		Tracer:          cfg.MWSTracer,
+		Storage:         cfg.Storage,
 		IBEParams:       p.Params(), // enables IBS-authenticated deposits
 	})
 	if err != nil {
@@ -162,7 +167,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 
 // loadOrCreateSharedKey persists the MWS–PKG ticket key in a tiny KV of
 // its own so restarts keep old tickets decryptable.
-func loadOrCreateSharedKey(dir string, rng io.Reader, sync wal.SyncPolicy) ([]byte, error) {
+func loadOrCreateSharedKey(dir string, rng io.Reader, sync storage.SyncPolicy) ([]byte, error) {
 	kv, err := openSharedKV(dir, sync)
 	if err != nil {
 		return nil, err

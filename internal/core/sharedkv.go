@@ -1,12 +1,11 @@
 package core
 
 import (
-	"mwskit/internal/store"
-	"mwskit/internal/wal"
+	"mwskit/internal/storage"
 )
 
-// openSharedKV wraps store.OpenKV; split out so core.go reads as pure
+// openSharedKV wraps storage.OpenKV; split out so core.go reads as pure
 // orchestration.
-func openSharedKV(dir string, sync wal.SyncPolicy) (*store.KV, error) {
-	return store.OpenKV(dir, sync)
+func openSharedKV(dir string, sync storage.SyncPolicy) (storage.CloserKV, error) {
+	return storage.OpenKV(dir, sync)
 }

@@ -28,10 +28,9 @@ import (
 	"mwskit/internal/obsv"
 	"mwskit/internal/pairing"
 	"mwskit/internal/peks"
-	"mwskit/internal/store"
+	"mwskit/internal/storage"
 	"mwskit/internal/symenc"
 	"mwskit/internal/ticket"
-	"mwskit/internal/wal"
 	"mwskit/internal/wire"
 )
 
@@ -50,7 +49,7 @@ type Config struct {
 	// CodeTimeout error frame (0 = no bound).
 	RequestTimeout time.Duration
 	// Sync selects store durability (default SyncAlways).
-	Sync wal.SyncPolicy
+	Sync storage.SyncPolicy
 	// Rand is the entropy source (default crypto/rand).
 	Rand io.Reader
 	// Now is the clock, swappable in tests.
@@ -68,7 +67,7 @@ type Service struct {
 	sys    *pairing.System
 	params *bfibe.Params
 	master *bfibe.MasterKey
-	kv     *store.KV
+	kv     storage.CloserKV
 	replay *macauth.ReplayGuard
 	seal   symenc.Scheme
 	stats  *metrics.Registry
@@ -107,7 +106,7 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	kv, err := store.OpenKV(filepath.Join(cfg.Dir, "pkg"), cfg.Sync)
+	kv, err := storage.OpenKV(filepath.Join(cfg.Dir, "pkg"), cfg.Sync)
 	if err != nil {
 		return nil, err
 	}

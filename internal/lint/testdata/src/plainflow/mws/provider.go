@@ -1,0 +1,46 @@
+package mws
+
+import (
+	"mwskit/internal/lint/testdata/src/plainflow/storage"
+	"mwskit/internal/lint/testdata/src/plainflow/symenc"
+)
+
+// AppendDecrypted hands a decrypted payload to the provider layer's
+// Append: the storage.Provider-shaped violation.
+func AppendDecrypted(key, blob []byte) error {
+	pt, err := symenc.Open(key, blob, nil)
+	if err != nil {
+		return err
+	}
+	_, err = storage.Append("meter-1", pt) // want "decrypted plaintext \\(symenc.Open output\\) flows into a storage write"
+	return err
+}
+
+// AppendSealed re-encrypts before the provider append: sanctioned.
+func AppendSealed(key, blob []byte) error {
+	pt, err := symenc.Open(key, blob, nil)
+	if err != nil {
+		return err
+	}
+	ct, err := symenc.Seal(key, pt, nil)
+	if err != nil {
+		return err
+	}
+	_, err = storage.Append("meter-1", ct)
+	return err
+}
+
+// PutExtractedKey caches a decrypted value in a provider KV partition,
+// two calls deep from the Open.
+func PutExtractedKey(kv *storage.KV, key, blob []byte) error {
+	return putEntry(kv, decrypt(key, blob))
+}
+
+func putEntry(kv *storage.KV, val []byte) error {
+	return kv.Put("cache", val) // want "decrypted plaintext \\(symenc.Open output\\) flows into a storage write"
+}
+
+// PutCiphertext stores never-decrypted bytes in a KV partition: clean.
+func PutCiphertext(kv *storage.KV, blob []byte) error {
+	return kv.Put("blob", blob)
+}

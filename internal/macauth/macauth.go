@@ -20,8 +20,7 @@ import (
 	"sync"
 	"time"
 
-	"mwskit/internal/store"
-	"mwskit/internal/wal"
+	"mwskit/internal/storage"
 )
 
 // KeyLen is the byte length of device MAC keys.
@@ -51,17 +50,27 @@ func Verify(key, mac []byte, parts ...[]byte) bool {
 // a durable map from device identity to its shared MAC key.
 type KeyService struct {
 	mu sync.RWMutex
-	kv *store.KV
+	kv storage.KV
+	// closer is set only for standalone stores opened via OpenKeyService;
+	// provider-supplied KVs (NewKeyService) are closed by their provider.
+	closer io.Closer
 }
 
-// OpenKeyService opens (or creates) the device-key store at dir.
-func OpenKeyService(dir string, sync wal.SyncPolicy) (*KeyService, error) {
-	kv, err := store.OpenKV(dir, sync)
+// OpenKeyService opens (or creates) a standalone device-key store at
+// dir. Services running over a storage.Provider should pass the
+// provider's KV to NewKeyService instead.
+func OpenKeyService(dir string, sync storage.SyncPolicy) (*KeyService, error) {
+	kv, err := storage.OpenKV(dir, sync)
 	if err != nil {
 		return nil, err
 	}
-	return &KeyService{kv: kv}, nil
+	return &KeyService{kv: kv, closer: kv}, nil
 }
+
+// NewKeyService builds the key service over an existing KV (typically
+// storage.Provider.KV("devices")); the provider keeps lifecycle
+// ownership.
+func NewKeyService(kv storage.KV) *KeyService { return &KeyService{kv: kv} }
 
 // Register draws a fresh key for the device and stores it, returning the
 // key for delivery to the device over the registration channel (the
@@ -103,8 +112,14 @@ func (ks *KeyService) Revoke(deviceID string) error {
 // Devices lists registered device IDs, sorted.
 func (ks *KeyService) Devices() []string { return ks.kv.Keys() }
 
-// Close releases the underlying store.
-func (ks *KeyService) Close() error { return ks.kv.Close() }
+// Close releases the underlying store when this service owns it (opened
+// via OpenKeyService); a no-op for provider-backed services.
+func (ks *KeyService) Close() error {
+	if ks.closer != nil {
+		return ks.closer.Close()
+	}
+	return nil
+}
 
 // RandReader is the default entropy source for Register.
 var RandReader io.Reader = rand.Reader

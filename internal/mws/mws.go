@@ -3,7 +3,7 @@
 // of Figure 3 —
 //
 //	Smart Device Authenticator (SDA) — MAC-verifies deposits
-//	Message Database (MD)            — internal/store.MessageStore
+//	Message Database (MD)            — internal/storage.Provider
 //	Message Management System (MMS)  — policy-filtered retrieval
 //	Policy Database (PD)             — internal/policy.DB (Table 1)
 //	Token Generator (TG)             — internal/ticket
@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
-	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,10 +36,9 @@ import (
 	"mwskit/internal/peks"
 	"mwskit/internal/policy"
 	"mwskit/internal/policyrule"
-	"mwskit/internal/store"
+	"mwskit/internal/storage"
 	"mwskit/internal/ticket"
 	"mwskit/internal/userdb"
-	"mwskit/internal/wal"
 	"mwskit/internal/wire"
 )
 
@@ -59,7 +58,12 @@ type Config struct {
 	// CodeTimeout error frame (0 = no bound).
 	RequestTimeout time.Duration
 	// Sync selects store durability (default SyncAlways).
-	Sync wal.SyncPolicy
+	Sync storage.SyncPolicy
+	// Storage selects and tunes the persistence backend (zero value:
+	// the local single-store layout, auto-detecting sharded directories).
+	// Storage.Metrics defaults to the service's own registry, so shard
+	// series appear on the debug listener without extra wiring.
+	Storage storage.Options
 	// Rand is the entropy source (default crypto/rand via attr.RandReader).
 	Rand io.Reader
 	// Now is the clock, swappable in tests (default time.Now).
@@ -86,12 +90,16 @@ type Service struct {
 	devices  *macauth.KeyService
 	replay   *macauth.ReplayGuard
 	rcReplay *macauth.ReplayGuard
-	messages *store.MessageStore
+	messages storage.Provider
 	policies *policy.DB
 	users    *userdb.DB
 
 	rulesMu sync.RWMutex
 	rules   *policyrule.Set
+
+	compactMu   sync.Mutex
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	stats  *metrics.Registry
 	router *wire.Router
@@ -118,27 +126,38 @@ func New(cfg Config) (*Service, error) {
 		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 
-	devices, err := macauth.OpenKeyService(filepath.Join(cfg.Dir, "devices"), cfg.Sync)
+	stats := metrics.NewRegistry()
+	sopts := cfg.Storage
+	if sopts.Metrics == nil {
+		sopts.Metrics = stats
+	}
+	db, err := storage.Open(storage.Config{Dir: cfg.Dir, Sync: cfg.Sync, Options: sopts})
 	if err != nil {
+		return nil, fmt.Errorf("mws: storage: %w", err)
+	}
+	// The sub-databases share the provider: under the local backend the
+	// KV names map to the historical dir/devices, dir/policy, dir/users
+	// layout; under the sharded backend each is partitioned with the
+	// message database.
+	devKV, err := db.KV("devices")
+	if err != nil {
+		db.Close()
 		return nil, fmt.Errorf("mws: device keys: %w", err)
 	}
-	messages, err := store.OpenMessageStore(filepath.Join(cfg.Dir, "messages"), cfg.Sync)
+	polKV, err := db.KV("policy")
 	if err != nil {
-		devices.Close()
-		return nil, fmt.Errorf("mws: message db: %w", err)
-	}
-	policies, err := policy.Open(filepath.Join(cfg.Dir, "policy"), cfg.Sync)
-	if err != nil {
-		devices.Close()
-		messages.Close()
+		db.Close()
 		return nil, fmt.Errorf("mws: policy db: %w", err)
 	}
-	users, err := userdb.Open(filepath.Join(cfg.Dir, "users"), cfg.Sync)
+	userKV, err := db.KV("users")
 	if err != nil {
-		devices.Close()
-		messages.Close()
-		policies.Close()
+		db.Close()
 		return nil, fmt.Errorf("mws: user db: %w", err)
+	}
+	policies, err := policy.New(polKV)
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("mws: policy db: %w", err)
 	}
 	rules := cfg.Rules
 	if rules == nil {
@@ -146,14 +165,14 @@ func New(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		cfg:      cfg,
-		devices:  devices,
+		devices:  macauth.NewKeyService(devKV),
 		replay:   macauth.NewReplayGuard(cfg.FreshnessWindow),
 		rcReplay: macauth.NewReplayGuard(cfg.FreshnessWindow),
-		messages: messages,
+		messages: db,
 		policies: policies,
-		users:    users,
+		users:    userdb.New(userKV),
 		rules:    rules,
-		stats:    metrics.NewRegistry(),
+		stats:    stats,
 	}
 	s.router = s.buildRouter()
 	return s, nil
@@ -174,14 +193,12 @@ func (s *Service) anyTagMatches(tags [][]byte, td *peks.Trapdoor) bool {
 	return false
 }
 
-// Close releases all stores.
+// Close releases all stores. The storage provider owns every underlying
+// database, so closing it closes the device-key, policy, and user stores
+// too.
 func (s *Service) Close() error {
-	return errors.Join(
-		s.devices.Close(),
-		s.messages.Close(),
-		s.policies.Close(),
-		s.users.Close(),
-	)
+	s.stopAutoCompact()
+	return s.messages.Close()
 }
 
 // --- administration (the paper's "administrative operations to manage
@@ -249,6 +266,66 @@ func (s *Service) PolicyTable() []policy.Binding { return s.policies.Table() }
 
 // MessageCount reports the number of warehoused messages.
 func (s *Service) MessageCount() int { return s.messages.Count() }
+
+// Store exposes the storage provider (shard stats, explicit compaction) —
+// read-only use; the service owns its lifecycle.
+func (s *Service) Store() storage.Provider { return s.messages }
+
+// CompactStores compacts every KV database whose mutation log has
+// outgrown its live data (see storage.Provider.Compact), bumping the
+// store_compactions counter per compacted store.
+func (s *Service) CompactStores(minMutations uint64) (int, error) {
+	n, err := s.messages.Compact(minMutations)
+	if n > 0 {
+		obsv.AddStoreCompactions(n)
+		s.cfg.Logger.Info("mws: compacted stores", "stores", n)
+	}
+	return n, err
+}
+
+// StartAutoCompact launches the background compaction sweep: every
+// interval, KV stores past the mutation threshold are rewritten. A second
+// call replaces the previous schedule; Close stops it.
+func (s *Service) StartAutoCompact(interval time.Duration, minMutations uint64) {
+	if interval <= 0 {
+		return
+	}
+	s.stopAutoCompact()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.compactMu.Lock()
+	s.compactStop, s.compactDone = stop, done
+	s.compactMu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := s.CompactStores(minMutations); err != nil {
+					s.cfg.Logger.Error("mws: auto-compact", "err", err)
+				}
+			}
+		}
+	}()
+}
+
+// stopAutoCompact halts the background sweep and waits for an in-flight
+// pass to finish, so Close never races a compaction against store
+// teardown.
+func (s *Service) stopAutoCompact() {
+	s.compactMu.Lock()
+	stop, done := s.compactStop, s.compactDone
+	s.compactStop, s.compactDone = nil, nil
+	s.compactMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
 
 // --- SDA: the SD–MWS phase ---
 
@@ -323,7 +400,8 @@ func (s *Service) Deposit(ctx context.Context, req *wire.DepositRequest) (uint64
 		return 0, em
 	}
 	storeCtx, storeSp := obsv.StartSpan(ctx, "store.write")
-	seq, err := s.messages.PutContext(storeCtx, &store.Message{
+	storeSp.SetAttr("shard", strconv.Itoa(s.messages.ShardOf(a)))
+	seq, err := s.messages.Append(storeCtx, &storage.Message{
 		DeviceID:   req.DeviceID,
 		Attribute:  a,
 		Nonce:      nonce,
@@ -408,7 +486,7 @@ func (s *Service) Retrieve(ctx context.Context, req *wire.RetrieveRequest) (*wir
 		fetchLimit = 0
 	}
 	_, fetchSp := obsv.StartSpan(ctx, "store.read")
-	msgs := s.messages.ListByAttributes(set, req.FromSeq, fetchLimit)
+	msgs := s.messages.ScanAttributes(set, req.FromSeq, fetchLimit)
 	fetchSp.SetAttr("messages", fmt.Sprintf("%d", len(msgs)))
 	fetchSp.End()
 	if len(req.Trapdoor) > 0 {

@@ -23,6 +23,7 @@ var (
 	walFsyncs        atomic.Uint64
 	storeReadBytes   atomic.Uint64
 	storeWriteBytes  atomic.Uint64
+	storeCompactions atomic.Uint64
 	connInBytes      atomic.Uint64
 	connOutBytes     atomic.Uint64
 
@@ -74,6 +75,14 @@ func AddStoreWriteBytes(n int) {
 	}
 }
 
+// AddStoreCompactions records n KV log compactions (threshold-triggered
+// background sweeps and explicit admin compactions alike).
+func AddStoreCompactions(n int) {
+	if n > 0 {
+		storeCompactions.Add(uint64(n))
+	}
+}
+
 // AddConnInBytes / AddConnOutBytes record wire.Server transport traffic.
 func AddConnInBytes(n int) {
 	if n > 0 {
@@ -98,6 +107,7 @@ func GlobalCounters() []metrics.CounterSample {
 		{Name: "pairing_ops", Value: pairingOps.Load()},
 		{Name: "scalar_mult_public", Value: scalarMultPublic.Load()},
 		{Name: "scalar_mult_secret", Value: scalarMultSecret.Load()},
+		{Name: "store_compactions", Value: storeCompactions.Load()},
 		{Name: "store_read_bytes", Value: storeReadBytes.Load()},
 		{Name: "store_write_bytes", Value: storeWriteBytes.Load()},
 		{Name: "wal_appends", Value: walAppends.Load()},

@@ -14,14 +14,14 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	"mwskit/internal/attr"
-	"mwskit/internal/store"
-	"mwskit/internal/wal"
+	"mwskit/internal/storage"
 )
 
 // Binding is one row of Table 1: a grant of an attribute to an identity,
@@ -36,7 +36,10 @@ type Binding struct {
 // mutations are durable through the underlying KV store.
 type DB struct {
 	mu sync.RWMutex
-	kv *store.KV
+	kv storage.KV
+	// closer is set only when the DB opened its own standalone store via
+	// Open; provider-supplied KVs (New) are closed by their provider.
+	closer io.Closer
 
 	byIdentity map[string]map[attr.Attribute]attr.ID
 	byAID      map[attr.ID]Binding
@@ -48,12 +51,27 @@ const (
 	nextAIDKey  = "meta/next-aid"
 )
 
-// Open opens (or creates) the policy database at dir.
-func Open(dir string, sync wal.SyncPolicy) (*DB, error) {
-	kv, err := store.OpenKV(dir, sync)
+// Open opens (or creates) a standalone policy database at dir. Services
+// running over a storage.Provider should pass the provider's KV to New
+// instead, so one backend owns every store.
+func Open(dir string, sync storage.SyncPolicy) (*DB, error) {
+	kv, err := storage.OpenKV(dir, sync)
 	if err != nil {
 		return nil, err
 	}
+	db, err := New(kv)
+	if err != nil {
+		kv.Close()
+		return nil, err
+	}
+	db.closer = kv
+	return db, nil
+}
+
+// New builds the policy database over an existing KV (typically
+// storage.Provider.KV("policy")); the caller's provider keeps ownership
+// of the store's lifecycle.
+func New(kv storage.KV) (*DB, error) {
 	db := &DB{
 		kv:         kv,
 		byIdentity: make(map[string]map[attr.Attribute]attr.ID),
@@ -86,7 +104,6 @@ func Open(dir string, sync wal.SyncPolicy) (*DB, error) {
 		return true
 	})
 	if loadErr != nil {
-		kv.Close()
 		return nil, loadErr
 	}
 	return db, nil
@@ -260,5 +277,12 @@ func FormatTable(rows []Binding) string {
 	return b.String()
 }
 
-// Close releases the underlying store.
-func (db *DB) Close() error { return db.kv.Close() }
+// Close releases the underlying store when this DB owns it (opened via
+// Open); for provider-backed DBs it is a no-op — the provider closes the
+// store.
+func (db *DB) Close() error {
+	if db.closer != nil {
+		return db.closer.Close()
+	}
+	return nil
+}

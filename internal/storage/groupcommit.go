@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"sync"
+	"time"
+
+	"mwskit/internal/wal"
+)
+
+// committer implements group commit for one shard's WAL: concurrent
+// appenders share fsyncs instead of paying one each. An appender's
+// record hits the OS before it calls wait (the WAL append happens under
+// the shard lock, strictly before registration), and wait only returns
+// after a Sync that started after registration — so an acknowledged
+// append is always on stable storage, while K concurrent same-shard
+// deposits cost one fsync instead of K.
+//
+// Batching happens two ways. Always: waiters that register while a sync
+// is in flight are picked up together by the next sync (the flush loop
+// keeps draining until the queue is empty), so batching scales with how
+// slow the disk is — exactly when it matters. Optionally: a positive
+// interval makes each round sleep first, trading ack latency for larger
+// batches on workloads whose concurrency alone doesn't fill them.
+type committer struct {
+	log      *wal.Log
+	interval time.Duration
+	onSync   func() // telemetry hook, called once per fsync
+
+	mu       sync.Mutex
+	waiters  []chan error
+	flushing bool
+	closed   bool
+}
+
+func newCommitter(log *wal.Log, interval time.Duration, onSync func()) *committer {
+	return &committer{log: log, interval: interval, onSync: onSync}
+}
+
+// wait blocks until the caller's already-written record is covered by an
+// fsync, returning the sync error if any.
+func (c *committer) wait() error {
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wal.ErrClosed
+	}
+	c.waiters = append(c.waiters, ch)
+	if !c.flushing {
+		c.flushing = true
+		go c.flush()
+	}
+	c.mu.Unlock()
+	return <-ch
+}
+
+// flush drains the waiter queue in rounds: sleep out the batching window
+// (if any), detach the accumulated waiters, release them after one fsync,
+// and loop while new waiters piled up during the sync. `flushing` stays
+// true for the whole drain, so at most one flush goroutine runs per
+// committer and mid-sync arrivals batch instead of racing their own
+// syncs.
+func (c *committer) flush() {
+	for {
+		if c.interval > 0 {
+			time.Sleep(c.interval)
+		}
+		c.mu.Lock()
+		waiters := c.waiters
+		c.waiters = nil
+		if len(waiters) == 0 {
+			c.flushing = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		err := c.log.Sync()
+		if err == nil && c.onSync != nil {
+			c.onSync()
+		}
+		for _, ch := range waiters {
+			ch <- err
+		}
+	}
+}
+
+// close marks the committer closed; subsequent waits fail fast. In-flight
+// flushes drain on their own.
+func (c *committer) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}

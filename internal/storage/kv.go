@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mwskit/internal/store"
+)
+
+// keyShard maps a KV key to its partition by digest, mirroring
+// shardIndex for attributes.
+func keyShard(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := sha256.Sum256([]byte(key))
+	return int(binary.BigEndian.Uint64(h[:8]) % uint64(n))
+}
+
+// shardedKV stripes one named KV database across the provider's
+// partitions (shard-NNN/kv/<name>). Each partition is an independent
+// store.KV with its own WAL, so writes toward different partitions do
+// not serialize on one log.
+type shardedKV struct {
+	name  string
+	parts []*store.KV
+}
+
+func (p *shardedProvider) KV(name string) (KV, error) {
+	if err := validKVName(name); err != nil {
+		return nil, err
+	}
+	if name == "messages" || name == metaName || strings.HasPrefix(name, "shard-") || strings.HasSuffix(name, ".v1") {
+		return nil, fmt.Errorf("storage: KV name %q is reserved", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if kv, ok := p.kvs[name]; ok {
+		return kv, nil
+	}
+
+	// A v1 directory for this name means the database predates the
+	// reshard: replay its live keys into the partitions first. Partial
+	// partition contents from a crashed earlier migration are dropped
+	// before the replay; the v1 directory is only retired (renamed) after
+	// the copy succeeds, so the migration is restartable.
+	v1dir := filepath.Join(p.dir, name)
+	migrate := false
+	if st, err := os.Stat(v1dir); err == nil && st.IsDir() {
+		migrate = true
+		for i := 0; i < p.nshard; i++ {
+			if err := os.RemoveAll(filepath.Join(shardDir(p.dir, i), "kv", name)); err != nil {
+				return nil, err
+			}
+		}
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	kv := &shardedKV{name: name}
+	for i := 0; i < p.nshard; i++ {
+		part, err := store.OpenKV(filepath.Join(shardDir(p.dir, i), "kv", name), p.sync)
+		if err != nil {
+			kv.close()
+			return nil, fmt.Errorf("storage: kv %q shard %d: %w", name, i, err)
+		}
+		kv.parts = append(kv.parts, part)
+	}
+
+	if migrate {
+		v1, err := store.OpenKV(v1dir, SyncNever)
+		if err != nil {
+			kv.close()
+			return nil, fmt.Errorf("storage: open v1 kv %q: %w", name, err)
+		}
+		var perr error
+		v1.Range(func(key string, value []byte) bool {
+			perr = kv.Put(key, value)
+			return perr == nil
+		})
+		cerr := v1.Close()
+		if perr != nil {
+			kv.close()
+			return nil, fmt.Errorf("storage: reshard kv %q: %w", name, perr)
+		}
+		if cerr != nil {
+			kv.close()
+			return nil, cerr
+		}
+		if err := os.Rename(v1dir, v1dir+".v1"); err != nil {
+			kv.close()
+			return nil, fmt.Errorf("storage: retire v1 kv %q: %w", name, err)
+		}
+	}
+
+	p.kvs[name] = kv
+	return kv, nil
+}
+
+func (kv *shardedKV) part(key string) *store.KV {
+	return kv.parts[keyShard(key, len(kv.parts))]
+}
+
+func (kv *shardedKV) Get(key string) ([]byte, bool) { return kv.part(key).Get(key) }
+
+func (kv *shardedKV) Put(key string, value []byte) error { return kv.part(key).Put(key, value) }
+
+func (kv *shardedKV) Delete(key string) error { return kv.part(key).Delete(key) }
+
+func (kv *shardedKV) Len() int {
+	n := 0
+	for _, part := range kv.parts {
+		n += part.Len()
+	}
+	return n
+}
+
+func (kv *shardedKV) Keys() []string {
+	var out []string
+	for _, part := range kv.parts {
+		out = append(out, part.Keys()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (kv *shardedKV) Range(fn func(key string, value []byte) bool) {
+	for _, part := range kv.parts {
+		stopped := false
+		part.Range(func(key string, value []byte) bool {
+			if !fn(key, value) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+func (kv *shardedKV) Mutations() uint64 {
+	var n uint64
+	for _, part := range kv.parts {
+		n += part.Mutations()
+	}
+	return n
+}
+
+func (kv *shardedKV) Compact() error {
+	for _, part := range kv.parts {
+		if err := part.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact applies the compaction heuristic partition by partition (each
+// partition has its own log to shrink), returning how many compacted.
+func (kv *shardedKV) compact(minMutations uint64) (int, error) {
+	n := 0
+	for _, part := range kv.parts {
+		did, err := compactIfWorthwhile(part, minMutations)
+		if err != nil {
+			return n, err
+		}
+		if did {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (kv *shardedKV) close() error {
+	var errs []error
+	for _, part := range kv.parts {
+		errs = append(errs, part.Close())
+	}
+	kv.parts = nil
+	return errors.Join(errs...)
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/store"
+)
+
+// localProvider is the original engine behind the interface: one
+// WAL-backed MessageStore under dir/messages and one store.KV per named
+// database under dir/<name> — byte-compatible with the pre-provider
+// layout, so existing data directories open unchanged.
+type localProvider struct {
+	dir  string
+	sync SyncPolicy
+	ms   *store.MessageStore
+
+	mu  sync.Mutex
+	kvs map[string]*store.KV
+
+	stats *shardTelemetry
+}
+
+func openLocal(cfg Config) (*localProvider, error) {
+	ms, err := store.OpenMessageStore(filepath.Join(cfg.Dir, "messages"), cfg.Sync)
+	if err != nil {
+		return nil, fmt.Errorf("storage: local message db: %w", err)
+	}
+	p := &localProvider{
+		dir:   cfg.Dir,
+		sync:  cfg.Sync,
+		ms:    ms,
+		kvs:   make(map[string]*store.KV),
+		stats: newShardTelemetry(0, cfg.Metrics),
+	}
+	p.stats.setMessages(ms.Count())
+	return p, nil
+}
+
+func (p *localProvider) Append(ctx context.Context, m *Message) (uint64, error) {
+	seq, err := p.ms.PutContext(ctx, m)
+	if err != nil {
+		return 0, err
+	}
+	p.stats.append(len(m.U) + len(m.Ciphertext))
+	p.stats.setMessages(p.ms.Count())
+	return seq, nil
+}
+
+func (p *localProvider) Get(seq uint64) (*Message, bool) { return p.ms.Get(seq) }
+
+func (p *localProvider) ScanAttribute(a attr.Attribute, fromSeq uint64, limit int) []*Message {
+	return p.ms.ListByAttribute(a, fromSeq, limit)
+}
+
+func (p *localProvider) ScanAttributes(set attr.Set, fromSeq uint64, limit int) []*Message {
+	return p.ms.ListByAttributes(set, fromSeq, limit)
+}
+
+func (p *localProvider) Count() int { return p.ms.Count() }
+
+func (p *localProvider) CountAttribute(a attr.Attribute) int { return p.ms.CountByAttribute(a) }
+
+func (p *localProvider) Attributes() []attr.Attribute { return p.ms.Attributes() }
+
+func (p *localProvider) KV(name string) (KV, error) {
+	if err := validKVName(name); err != nil {
+		return nil, err
+	}
+	if name == "messages" {
+		return nil, fmt.Errorf("storage: KV name %q collides with the message database", name)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if kv, ok := p.kvs[name]; ok {
+		return kv, nil
+	}
+	kv, err := store.OpenKV(filepath.Join(p.dir, name), p.sync)
+	if err != nil {
+		return nil, fmt.Errorf("storage: local kv %q: %w", name, err)
+	}
+	p.kvs[name] = kv
+	return kv, nil
+}
+
+func (p *localProvider) Compact(minMutations uint64) (int, error) {
+	p.mu.Lock()
+	kvs := make([]*store.KV, 0, len(p.kvs))
+	for _, kv := range p.kvs {
+		kvs = append(kvs, kv)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, kv := range kvs {
+		did, err := compactIfWorthwhile(kv, minMutations)
+		if err != nil {
+			return n, err
+		}
+		if did {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (p *localProvider) Shards() int { return 1 }
+
+func (p *localProvider) ShardOf(attr.Attribute) int { return 0 }
+
+func (p *localProvider) ShardStats() []ShardStat { return []ShardStat{p.stats.sample()} }
+
+func (p *localProvider) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.ms.Close()
+	for _, kv := range p.kvs {
+		if cerr := kv.Close(); err == nil {
+			err = cerr
+		}
+	}
+	p.kvs = make(map[string]*store.KV)
+	return err
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/metrics"
+)
+
+// memoryProvider is the volatile backend: plain maps behind a lock, no
+// files, no durability. It exists for tests and simulation, where the
+// provider seam matters but the disk does not.
+type memoryProvider struct {
+	nextSeq atomic.Uint64
+
+	mu     sync.RWMutex
+	msgs   map[uint64]*Message
+	order  []uint64
+	byAttr map[attr.Attribute][]uint64
+	kvs    map[string]*memKV
+
+	stats *shardTelemetry
+}
+
+func newMemoryProvider(reg *metrics.Registry) *memoryProvider {
+	return &memoryProvider{
+		msgs:   make(map[uint64]*Message),
+		byAttr: make(map[attr.Attribute][]uint64),
+		kvs:    make(map[string]*memKV),
+		stats:  newShardTelemetry(0, reg),
+	}
+}
+
+func (p *memoryProvider) Append(_ context.Context, m *Message) (uint64, error) {
+	if m == nil {
+		return 0, errors.New("storage: nil message")
+	}
+	if err := m.Attribute.Validate(); err != nil {
+		return 0, err
+	}
+	cp := *m
+	p.mu.Lock()
+	seq := p.nextSeq.Add(1) - 1
+	cp.Seq = seq
+	p.msgs[seq] = &cp
+	p.order = append(p.order, seq)
+	p.byAttr[cp.Attribute] = append(p.byAttr[cp.Attribute], seq)
+	p.mu.Unlock()
+	p.stats.append(len(cp.U) + len(cp.Ciphertext))
+	p.stats.addMessages(1)
+	return seq, nil
+}
+
+func (p *memoryProvider) Get(seq uint64) (*Message, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	m, ok := p.msgs[seq]
+	return m, ok
+}
+
+func (p *memoryProvider) ScanAttribute(a attr.Attribute, fromSeq uint64, limit int) []*Message {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.scanLocked(p.byAttr[a], fromSeq, limit)
+}
+
+func (p *memoryProvider) scanLocked(seqs []uint64, fromSeq uint64, limit int) []*Message {
+	out := make([]*Message, 0, len(seqs))
+	for _, s := range seqs {
+		if s < fromSeq {
+			continue
+		}
+		out = append(out, p.msgs[s])
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+func (p *memoryProvider) ScanAttributes(set attr.Set, fromSeq uint64, limit int) []*Message {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*Message
+	for _, a := range set {
+		out = append(out, p.scanLocked(p.byAttr[a], fromSeq, 0)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func (p *memoryProvider) Count() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.order)
+}
+
+func (p *memoryProvider) CountAttribute(a attr.Attribute) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.byAttr[a])
+}
+
+func (p *memoryProvider) Attributes() []attr.Attribute {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]attr.Attribute, 0, len(p.byAttr))
+	for a := range p.byAttr {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (p *memoryProvider) KV(name string) (KV, error) {
+	if err := validKVName(name); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if kv, ok := p.kvs[name]; ok {
+		return kv, nil
+	}
+	kv := &memKV{m: make(map[string][]byte)}
+	p.kvs[name] = kv
+	return kv, nil
+}
+
+func (p *memoryProvider) Compact(uint64) (int, error) { return 0, nil }
+
+func (p *memoryProvider) Shards() int { return 1 }
+
+func (p *memoryProvider) ShardOf(attr.Attribute) int { return 0 }
+
+func (p *memoryProvider) ShardStats() []ShardStat { return []ShardStat{p.stats.sample()} }
+
+func (p *memoryProvider) Close() error { return nil }
+
+// memKV is the volatile KV: a map and a mutation counter, so code that
+// exercises the compaction heuristic behaves identically over it.
+type memKV struct {
+	mu   sync.RWMutex
+	m    map[string][]byte
+	muts uint64
+}
+
+func (kv *memKV) Get(key string) ([]byte, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+func (kv *memKV) Put(key string, value []byte) error {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	kv.mu.Lock()
+	kv.m[key] = cp
+	kv.muts++
+	kv.mu.Unlock()
+	return nil
+}
+
+func (kv *memKV) Delete(key string) error {
+	kv.mu.Lock()
+	delete(kv.m, key)
+	kv.muts++
+	kv.mu.Unlock()
+	return nil
+}
+
+func (kv *memKV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.m)
+}
+
+func (kv *memKV) Keys() []string {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]string, 0, len(kv.m))
+	for k := range kv.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (kv *memKV) Range(fn func(key string, value []byte) bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	for k, v := range kv.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (kv *memKV) Mutations() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.muts
+}
+
+func (kv *memKV) Compact() error {
+	kv.mu.Lock()
+	kv.muts = 0
+	kv.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,454 @@
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/obsv"
+	"mwskit/internal/store"
+	"mwskit/internal/wal"
+)
+
+// shardedProvider partitions the message database and every KV database
+// across N independent WAL-backed shards keyed by attribute (resp. key)
+// digest. Deposits toward different shards touch disjoint locks and
+// disjoint files — deposits for different utilities never contend — and
+// same-shard deposits share fsyncs through a per-shard group committer.
+//
+// On-disk layout under dir:
+//
+//	storage.json                   marker: backend + shard count
+//	shard-000/messages/*.wal       message WAL for partition 0
+//	shard-000/kv/<name>/*.wal      partition 0 of KV database <name>
+//	...
+//	messages.v1/, <name>.v1/       frozen pre-reshard backups (migration)
+//
+// Message records are framed as [8B global seq][store record]: sequence
+// numbers are assigned from one provider-wide counter under the shard
+// lock, so they are unique and increasing globally and strictly
+// monotonic within each shard (but not dense per shard).
+type shardedProvider struct {
+	dir    string
+	sync   SyncPolicy
+	nshard int
+	cfg    Config
+
+	nextSeq atomic.Uint64
+	shards  []*msgShard
+
+	mu  sync.Mutex
+	kvs map[string]*shardedKV
+}
+
+// msgShard is one message partition: its WAL, group committer, and
+// in-memory index.
+type msgShard struct {
+	mu     sync.RWMutex
+	log    *wal.Log
+	gc     *committer // nil when Sync == SyncNever
+	msgs   map[uint64]*Message
+	order  []uint64 // seqs in append order (strictly increasing)
+	byAttr map[attr.Attribute][]uint64
+	stats  *shardTelemetry
+}
+
+func shardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+func openSharded(cfg Config, nshard int, fresh bool) (*shardedProvider, error) {
+	p := &shardedProvider{
+		dir:    cfg.Dir,
+		sync:   cfg.Sync,
+		nshard: nshard,
+		cfg:    cfg,
+		kvs:    make(map[string]*shardedKV),
+	}
+	gcInterval := cfg.GroupCommit
+	if gcInterval < 0 {
+		gcInterval = 0
+	}
+	// The shard WALs are opened SyncNever in every policy: under
+	// SyncNever durability is the OS's problem, and otherwise the group
+	// committer issues the fsyncs itself so that concurrent appends can
+	// share them.
+	var maxSeq uint64
+	haveAny := false
+	for i := 0; i < nshard; i++ {
+		log, err := wal.Open(wal.Options{Dir: filepath.Join(shardDir(cfg.Dir, i), "messages"), Sync: wal.SyncNever})
+		if err != nil {
+			p.closeShards()
+			return nil, err
+		}
+		sh := &msgShard{
+			log:    log,
+			msgs:   make(map[uint64]*Message),
+			byAttr: make(map[attr.Attribute][]uint64),
+			stats:  newShardTelemetry(i, cfg.Metrics),
+		}
+		if cfg.Sync != SyncNever {
+			sh.gc = newCommitter(log, gcInterval, sh.stats.fsync)
+		}
+		if err := log.Iterate(func(_ uint64, payload []byte) error {
+			obsv.AddStoreReadBytes(len(payload))
+			seq, m, err := decodeShardRecord(payload)
+			if err != nil {
+				return err
+			}
+			sh.index(seq, m)
+			if seq >= maxSeq {
+				maxSeq = seq
+				haveAny = true
+			}
+			return nil
+		}); err != nil {
+			log.Close()
+			p.closeShards()
+			return nil, fmt.Errorf("storage: shard %d replay: %w", i, err)
+		}
+		sh.stats.setMessages(len(sh.order))
+		p.shards = append(p.shards, sh)
+	}
+	if haveAny {
+		p.nextSeq.Store(maxSeq + 1)
+	}
+	if fresh {
+		// First open of this directory as sharded: reshard any v1 message
+		// database in place, then drop the marker that pins the layout.
+		if err := p.migrateMessages(); err != nil {
+			p.closeShards()
+			return nil, err
+		}
+		if err := writeMeta(cfg.Dir, meta{Version: 1, Backend: BackendSharded, Shards: nshard}); err != nil {
+			p.closeShards()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *shardedProvider) closeShards() {
+	for _, sh := range p.shards {
+		if sh.gc != nil {
+			sh.gc.close()
+		}
+		sh.log.Close()
+	}
+}
+
+// encodeShardRecord frames a message for a shard WAL.
+func encodeShardRecord(seq uint64, m *Message) []byte {
+	payload := store.EncodeMessage(m)
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(out[:8], seq)
+	copy(out[8:], payload)
+	return out
+}
+
+func decodeShardRecord(payload []byte) (uint64, *Message, error) {
+	if len(payload) < 8 {
+		return 0, nil, errors.New("storage: short shard record")
+	}
+	seq := binary.BigEndian.Uint64(payload[:8])
+	m, err := store.DecodeMessage(seq, payload[8:])
+	return seq, m, err
+}
+
+// index installs a replayed or appended message. Callers hold sh.mu.
+func (sh *msgShard) index(seq uint64, m *Message) {
+	sh.msgs[seq] = m
+	sh.order = append(sh.order, seq)
+	sh.byAttr[m.Attribute] = append(sh.byAttr[m.Attribute], seq)
+}
+
+func (p *shardedProvider) Append(ctx context.Context, m *Message) (uint64, error) {
+	if m == nil {
+		return 0, errors.New("storage: nil message")
+	}
+	if err := m.Attribute.Validate(); err != nil {
+		return 0, err
+	}
+	cp := *m
+	sh := p.shards[shardIndex(cp.Attribute, p.nshard)]
+
+	sh.mu.Lock()
+	// The sequence number is drawn under the shard lock so that the
+	// append order within a shard matches sequence order — per-shard
+	// monotonicity is what makes per-attribute cursors sound.
+	seq := p.nextSeq.Add(1) - 1
+	cp.Seq = seq
+	frame := encodeShardRecord(seq, &cp)
+	obsv.AddStoreWriteBytes(len(frame))
+	_, sp := obsv.StartSpan(ctx, "wal.append")
+	_, err := sh.log.Append(frame)
+	sp.SetErr(err)
+	sp.End()
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
+	sh.index(seq, &cp)
+	sh.stats.append(len(frame))
+	sh.stats.addMessages(1)
+	sh.mu.Unlock()
+
+	// Durability outside the lock: other appenders to this shard can
+	// write their records while we wait for the shared fsync.
+	if sh.gc != nil {
+		if err := sh.gc.wait(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+func (p *shardedProvider) Get(seq uint64) (*Message, bool) {
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		m, ok := sh.msgs[seq]
+		sh.mu.RUnlock()
+		if ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+func (p *shardedProvider) ScanAttribute(a attr.Attribute, fromSeq uint64, limit int) []*Message {
+	sh := p.shards[shardIndex(a, p.nshard)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	seqs := sh.byAttr[a]
+	out := make([]*Message, 0, len(seqs))
+	read := 0
+	for _, s := range seqs {
+		if s < fromSeq {
+			continue
+		}
+		m := sh.msgs[s]
+		out = append(out, m)
+		read += len(m.U) + len(m.Ciphertext)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	obsv.AddStoreReadBytes(read)
+	return out
+}
+
+func (p *shardedProvider) ScanAttributes(set attr.Set, fromSeq uint64, limit int) []*Message {
+	// Group the query attributes by shard so each partition is visited
+	// (and locked) once, then merge by sequence number — the global
+	// deposit order, since sequences are provider-wide.
+	byShard := make(map[int]attr.Set)
+	for _, a := range set {
+		i := shardIndex(a, p.nshard)
+		byShard[i] = append(byShard[i], a)
+	}
+	var out []*Message
+	read := 0
+	for i, attrs := range byShard {
+		sh := p.shards[i]
+		sh.mu.RLock()
+		for _, a := range attrs {
+			for _, s := range sh.byAttr[a] {
+				if s < fromSeq {
+					continue
+				}
+				m := sh.msgs[s]
+				out = append(out, m)
+				read += len(m.U) + len(m.Ciphertext)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	obsv.AddStoreReadBytes(read)
+	return out
+}
+
+func (p *shardedProvider) Count() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		n += len(sh.order)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (p *shardedProvider) CountAttribute(a attr.Attribute) int {
+	sh := p.shards[shardIndex(a, p.nshard)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.byAttr[a])
+}
+
+func (p *shardedProvider) Attributes() []attr.Attribute {
+	var out []attr.Attribute
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for a := range sh.byAttr {
+			out = append(out, a)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func (p *shardedProvider) Shards() int { return p.nshard }
+
+func (p *shardedProvider) ShardOf(a attr.Attribute) int { return shardIndex(a, p.nshard) }
+
+func (p *shardedProvider) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.RLock()
+		sh.stats.setMessages(len(sh.order))
+		sh.mu.RUnlock()
+		out[i] = sh.stats.sample()
+	}
+	return out
+}
+
+func (p *shardedProvider) Compact(minMutations uint64) (int, error) {
+	p.mu.Lock()
+	kvs := make([]*shardedKV, 0, len(p.kvs))
+	for _, kv := range p.kvs {
+		kvs = append(kvs, kv)
+	}
+	p.mu.Unlock()
+	n := 0
+	for _, kv := range kvs {
+		did, err := kv.compact(minMutations)
+		if err != nil {
+			return n, err
+		}
+		n += did
+	}
+	return n, nil
+}
+
+func (p *shardedProvider) Close() error {
+	var errs []error
+	for _, sh := range p.shards {
+		if sh.gc != nil {
+			sh.gc.close()
+		}
+		errs = append(errs, sh.log.Close())
+	}
+	p.mu.Lock()
+	for _, kv := range p.kvs {
+		errs = append(errs, kv.close())
+	}
+	p.kvs = make(map[string]*shardedKV)
+	p.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// --- migration: v1 local layout → sharded ---
+
+// migrateMessages reshards a v1 message WAL (dir/messages) into the
+// per-shard partitions, preserving every sequence number, then freezes
+// the v1 directory as dir/messages.v1. Runs only on first sharded open
+// (no marker file yet); a crash mid-migration leaves the marker unwritten
+// and the v1 directory in place, so the next open restarts it from
+// scratch against the re-created (truncated) shard WALs.
+func (p *shardedProvider) migrateMessages() error {
+	v1dir := filepath.Join(p.dir, "messages")
+	if _, err := os.Stat(v1dir); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return err
+	}
+	// Restarted migration: drop any partial shard contents so replayed
+	// records are not duplicated.
+	if p.Count() > 0 {
+		for i, sh := range p.shards {
+			if sh.gc != nil {
+				sh.gc.close()
+			}
+			if err := sh.log.Close(); err != nil {
+				return err
+			}
+			msgDir := filepath.Join(shardDir(p.dir, i), "messages")
+			if err := os.RemoveAll(msgDir); err != nil {
+				return err
+			}
+			log, err := wal.Open(wal.Options{Dir: msgDir, Sync: wal.SyncNever})
+			if err != nil {
+				return err
+			}
+			gcInterval := p.cfg.GroupCommit
+			if gcInterval < 0 {
+				gcInterval = 0
+			}
+			fresh := &msgShard{
+				log:    log,
+				msgs:   make(map[uint64]*Message),
+				byAttr: make(map[attr.Attribute][]uint64),
+				stats:  sh.stats,
+			}
+			if p.sync != SyncNever {
+				fresh.gc = newCommitter(log, gcInterval, sh.stats.fsync)
+			}
+			p.shards[i] = fresh
+		}
+		p.nextSeq.Store(0)
+	}
+	v1, err := wal.Open(wal.Options{Dir: v1dir, Sync: wal.SyncNever})
+	if err != nil {
+		return fmt.Errorf("storage: open v1 message db: %w", err)
+	}
+	var maxSeq uint64
+	count := 0
+	err = v1.Iterate(func(seq uint64, payload []byte) error {
+		m, err := store.DecodeMessage(seq, payload)
+		if err != nil {
+			return err
+		}
+		sh := p.shards[shardIndex(m.Attribute, p.nshard)]
+		frame := encodeShardRecord(seq, m)
+		if _, err := sh.log.Append(frame); err != nil {
+			return err
+		}
+		sh.index(seq, m)
+		sh.stats.addMessages(1)
+		if seq >= maxSeq {
+			maxSeq = seq
+			count++
+		}
+		return nil
+	})
+	cerr := v1.Close()
+	if err != nil {
+		return fmt.Errorf("storage: reshard replay: %w", err)
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if count > 0 {
+		p.nextSeq.Store(maxSeq + 1)
+	}
+	// Make the resharded copy durable before retiring the v1 directory.
+	for _, sh := range p.shards {
+		if err := sh.log.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(v1dir, v1dir+".v1"); err != nil {
+		return fmt.Errorf("storage: retire v1 message db: %w", err)
+	}
+	return nil
+}

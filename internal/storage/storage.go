@@ -1,0 +1,311 @@
+// Package storage is the persistence seam under the Message Warehousing
+// Service: a small provider interface over the paper's Message Database
+// (attribute-indexed message records) and the KV databases backing the
+// policy, user, and device-key stores. Everything above the WAL — the
+// MWS, both KV database packages, the daemons, the bench — speaks only
+// through this interface, so backends can be swapped by configuration:
+//
+//	local    the original single WAL+map store, byte-compatible with the
+//	         pre-provider on-disk layout (the default)
+//	sharded  N independent WAL+KV partitions keyed by the recipient
+//	         attribute's digest, with per-shard locks and a group-commit
+//	         fsync loop — deposits for different utilities never contend,
+//	         and same-shard deposits amortize durability cost
+//	memory   volatile maps, for tests and simulation
+//
+// Opening a v1 (local-layout) data directory with the sharded backend
+// performs a one-time resharding replay; see Open.
+package storage
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mwskit/internal/attr"
+	"mwskit/internal/metrics"
+	"mwskit/internal/store"
+	"mwskit/internal/wal"
+)
+
+// Message is the stored message record — the paper's rP ‖ C ‖ (A ‖ Nonce)
+// tuple plus bookkeeping. It aliases store.Message so the local provider
+// is zero-copy over the existing engine and record formats stay owned by
+// one codec.
+type Message = store.Message
+
+// SyncPolicy re-exports the WAL durability policy so provider consumers
+// need not import internal/wal.
+type SyncPolicy = wal.SyncPolicy
+
+// Re-exported durability policies.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncNever    = wal.SyncNever
+	SyncInterval = wal.SyncInterval
+)
+
+// Backend names.
+const (
+	BackendLocal   = "local"
+	BackendSharded = "sharded"
+	BackendMemory  = "memory"
+)
+
+// Backends lists the selectable backends, for flag help strings.
+func Backends() []string { return []string{BackendLocal, BackendSharded, BackendMemory} }
+
+// KV is a durable string-keyed database. The provider owns the lifecycle
+// of every KV it hands out; callers must not retain value slices passed
+// to Range. *store.KV satisfies this interface directly.
+type KV interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, value []byte) error
+	Delete(key string) error
+	Len() int
+	Keys() []string
+	Range(fn func(key string, value []byte) bool)
+	// Mutations reports logged operations since the last compaction — the
+	// compaction heuristic (live keys ≪ mutations ⇒ compact).
+	Mutations() uint64
+	// Compact rewrites the log to one Put per live key.
+	Compact() error
+}
+
+// CloserKV is a KV whose lifecycle the caller owns — what OpenKV returns
+// for single-database consumers (the PKG's master-key store, the
+// deployment's shared-key store).
+type CloserKV interface {
+	KV
+	Close() error
+}
+
+// Provider is the message-database + KV seam. All methods are safe for
+// concurrent use. Message sequence numbers are unique and increasing
+// across the provider; under the sharded backend they are additionally
+// monotonic within each shard but not dense.
+type Provider interface {
+	// Append durably stores a message and returns its assigned sequence
+	// number. The caller's Message.Seq is ignored. The append is durable
+	// to the configured sync policy before Append returns.
+	Append(ctx context.Context, m *Message) (uint64, error)
+	// Get returns the message with the given sequence number.
+	Get(seq uint64) (*Message, bool)
+	// ScanAttribute returns messages carrying the attribute with
+	// Seq ≥ fromSeq (inclusive cursor), oldest first, up to limit
+	// (0 = unlimited).
+	ScanAttribute(a attr.Attribute, fromSeq uint64, limit int) []*Message
+	// ScanAttributes merges ScanAttribute across a set, ordered by
+	// sequence number.
+	ScanAttributes(set attr.Set, fromSeq uint64, limit int) []*Message
+	// Count returns the total number of stored messages.
+	Count() int
+	// CountAttribute returns the number of messages for one attribute.
+	CountAttribute(a attr.Attribute) int
+	// Attributes returns the distinct attributes present.
+	Attributes() []attr.Attribute
+	// KV opens (or returns) the named KV database. Names are single path
+	// elements ("devices", "policy", "users").
+	KV(name string) (KV, error)
+	// Compact compacts every open KV database whose mutation count
+	// exceeds both minMutations and twice its live key count, returning
+	// how many were compacted. minMutations 0 compacts unconditionally.
+	Compact(minMutations uint64) (int, error)
+	// Shards reports the partition count (1 for local and memory).
+	Shards() int
+	// ShardOf reports which partition an attribute's messages land in.
+	ShardOf(a attr.Attribute) int
+	// ShardStats samples per-shard telemetry.
+	ShardStats() []ShardStat
+	// Close flushes and releases every underlying store.
+	Close() error
+}
+
+// ShardStat is a point-in-time sample of one partition.
+type ShardStat struct {
+	Shard      int
+	Messages   int
+	Appends    uint64
+	Fsyncs     uint64
+	WriteBytes uint64
+}
+
+// Options selects and tunes a backend; the zero value means the local
+// backend with defaults (auto-detecting a sharded directory, see Open).
+type Options struct {
+	// Backend is one of Backends() ("" = auto: an existing sharded
+	// directory reopens sharded, anything else opens local).
+	Backend string
+	// Shards is the partition count for the sharded backend (default 8).
+	// An existing sharded directory pins its shard count at creation;
+	// reopening with a different non-zero value is an error.
+	Shards int
+	// GroupCommit is the sharded backend's extra fsync batching window.
+	// Appends that land while a shard's fsync is in flight always share
+	// the next one (sync-coupled batching); a positive window additionally
+	// delays each fsync by that long to grow batches on slow-concurrency
+	// workloads. 0 (the default) adds no delay. Only meaningful when
+	// Sync != SyncNever.
+	GroupCommit time.Duration
+	// Metrics, when set, receives per-shard labeled series
+	// (storage_shard_appends, storage_shard_fsyncs,
+	// storage_shard_write_bytes, storage_shard_messages).
+	Metrics *metrics.Registry
+}
+
+// Config is everything Open needs.
+type Config struct {
+	// Dir is the root data directory (ignored by the memory backend).
+	Dir string
+	// Sync selects durability (default SyncAlways).
+	Sync SyncPolicy
+	Options
+}
+
+const (
+	// metaName is the sharded backend's marker file under Dir.
+	metaName = "storage.json"
+	// defaultShards is the sharded backend's default partition count.
+	defaultShards = 8
+	// DefaultGroupCommit is the sharded backend's default extra fsync
+	// batching window: none — batching comes from appends sharing
+	// in-flight syncs, which self-scales with disk latency.
+	DefaultGroupCommit = 0 * time.Millisecond
+)
+
+// meta is the persisted shape of the sharded backend's marker file.
+type meta struct {
+	Version int    `json:"version"`
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+}
+
+// Open opens (or creates) a provider rooted at cfg.Dir.
+//
+// Backend selection: an explicit cfg.Backend wins; with Backend "" a
+// directory carrying a sharded marker file reopens sharded (so daemons
+// restarted without flags keep their layout) and anything else opens
+// local. Opening a v1 local-layout directory with the sharded backend
+// reshards it once: the message WAL and each KV are replayed into the
+// per-shard partitions, and the v1 directories are kept beside them with
+// a ".v1" suffix as a frozen backup.
+func Open(cfg Config) (Provider, error) {
+	if cfg.Backend == BackendMemory {
+		return newMemoryProvider(cfg.Metrics), nil
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("storage: Dir is required")
+	}
+	m, err := readMeta(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	backend := cfg.Backend
+	if backend == "" {
+		if m != nil {
+			backend = m.Backend
+		} else {
+			backend = BackendLocal
+		}
+	}
+	switch backend {
+	case BackendLocal:
+		if m != nil {
+			return nil, fmt.Errorf("storage: %s was created with the %q backend (%d shards); pass that backend explicitly", cfg.Dir, m.Backend, m.Shards)
+		}
+		return openLocal(cfg)
+	case BackendSharded:
+		shards := cfg.Shards
+		if m != nil {
+			if shards != 0 && shards != m.Shards {
+				return nil, fmt.Errorf("storage: %s has %d shards (fixed at creation); cannot reopen with %d", cfg.Dir, m.Shards, shards)
+			}
+			shards = m.Shards
+		}
+		if shards == 0 {
+			shards = defaultShards
+		}
+		if shards < 1 || shards > 1024 {
+			return nil, fmt.Errorf("storage: shard count %d out of range [1,1024]", shards)
+		}
+		return openSharded(cfg, shards, m == nil)
+	default:
+		return nil, fmt.Errorf("storage: unknown backend %q (want one of %v)", backend, Backends())
+	}
+}
+
+// OpenKV opens a single standalone local KV database — the entry point
+// for consumers that need one durable map and no message database (the
+// PKG's master-key store, the deployment's shared-key store).
+func OpenKV(dir string, sync SyncPolicy) (CloserKV, error) {
+	return store.OpenKV(dir, sync)
+}
+
+// readMeta loads the sharded marker file, nil when absent.
+func readMeta(dir string) (*meta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read meta: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("storage: corrupt %s: %w", metaName, err)
+	}
+	if m.Backend != BackendSharded || m.Shards < 1 {
+		return nil, fmt.Errorf("storage: corrupt %s: backend %q, %d shards", metaName, m.Backend, m.Shards)
+	}
+	return &m, nil
+}
+
+// writeMeta persists the sharded marker file.
+func writeMeta(dir string, m meta) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaName), append(raw, '\n'), 0o600); err != nil {
+		return fmt.Errorf("storage: write meta: %w", err)
+	}
+	return nil
+}
+
+// shardIndex maps an attribute to its partition by digest. The digest is
+// stable across restarts and platforms: deposits for one utility always
+// land in the same shard, which is what makes per-shard cursors and
+// per-shard monotonic sequence numbers sound.
+func shardIndex(a attr.Attribute, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := sha256.Sum256([]byte(a))
+	return int(binary.BigEndian.Uint64(h[:8]) % uint64(n))
+}
+
+// validKVName rejects names that would escape the provider directory.
+func validKVName(name string) error {
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("storage: invalid KV name %q", name)
+	}
+	return nil
+}
+
+// compactIfWorthwhile applies the shared compaction heuristic to one KV.
+func compactIfWorthwhile(kv KV, minMutations uint64) (bool, error) {
+	muts := kv.Mutations()
+	if minMutations > 0 && (muts < minMutations || muts <= 2*uint64(kv.Len())) {
+		return false, nil
+	}
+	if err := kv.Compact(); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,506 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mwskit/internal/attr"
+)
+
+func testAttr(i int) attr.Attribute {
+	return attr.Attribute(fmt.Sprintf("UTILITY-%02d", i))
+}
+
+func testMessage(a attr.Attribute, i int) *Message {
+	var n attr.Nonce
+	n[0] = byte(i)
+	n[1] = byte(i >> 8)
+	return &Message{
+		DeviceID:   fmt.Sprintf("meter-%d", i%7),
+		Attribute:  a,
+		Nonce:      n,
+		U:          []byte{1, 2, byte(i)},
+		Ciphertext: []byte(fmt.Sprintf("ciphertext-%d", i)),
+		Scheme:     "aes-gcm",
+		Timestamp:  1700000000 + int64(i),
+	}
+}
+
+func sameMessage(t *testing.T, want, got *Message) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("missing message seq=%d", want.Seq)
+	}
+	w, g := *want, *got
+	if !reflect.DeepEqual(w, g) {
+		t.Fatalf("message mismatch:\nwant %+v\ngot  %+v", w, g)
+	}
+}
+
+// openBackend opens each backend over the same test dir.
+func openBackend(t *testing.T, backend, dir string) Provider {
+	t.Helper()
+	p, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: backend, Shards: 4}})
+	if err != nil {
+		t.Fatalf("open %s: %v", backend, err)
+	}
+	return p
+}
+
+// TestProviderRoundTrip exercises the full Provider surface over every
+// backend: append, point get, attribute scans with cursors and limits,
+// counts, KV, and (for the durable backends) persistence across reopen.
+func TestProviderRoundTrip(t *testing.T) {
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			dir := t.TempDir()
+			p := openBackend(t, backend, dir)
+
+			const perAttr, attrs = 5, 6
+			want := make(map[uint64]*Message)
+			byAttr := make(map[attr.Attribute][]*Message)
+			ctx := context.Background()
+			for i := 0; i < perAttr*attrs; i++ {
+				a := testAttr(i % attrs)
+				m := testMessage(a, i)
+				seq, err := p.Append(ctx, m)
+				if err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+				cp := *m
+				cp.Seq = seq
+				if _, dup := want[seq]; dup {
+					t.Fatalf("duplicate seq %d", seq)
+				}
+				want[seq] = &cp
+				byAttr[a] = append(byAttr[a], &cp)
+			}
+
+			check := func(p Provider) {
+				t.Helper()
+				if got := p.Count(); got != len(want) {
+					t.Fatalf("Count = %d, want %d", got, len(want))
+				}
+				for seq, w := range want {
+					g, ok := p.Get(seq)
+					if !ok {
+						t.Fatalf("Get(%d) missing", seq)
+					}
+					sameMessage(t, w, g)
+				}
+				if got := len(p.Attributes()); got != attrs {
+					t.Fatalf("Attributes = %d, want %d", got, attrs)
+				}
+				for a, ms := range byAttr {
+					if got := p.CountAttribute(a); got != len(ms) {
+						t.Fatalf("CountAttribute(%s) = %d, want %d", a, got, len(ms))
+					}
+					scan := p.ScanAttribute(a, 0, 0)
+					if len(scan) != len(ms) {
+						t.Fatalf("ScanAttribute(%s) = %d msgs, want %d", a, len(scan), len(ms))
+					}
+					for i, g := range scan {
+						sameMessage(t, ms[i], g)
+						if i > 0 && scan[i-1].Seq >= g.Seq {
+							t.Fatalf("scan out of order: %d then %d", scan[i-1].Seq, g.Seq)
+						}
+					}
+					// Cursor: resume after the second message.
+					if len(ms) > 2 {
+						rest := p.ScanAttribute(a, ms[2].Seq, 0)
+						if len(rest) != len(ms)-2 {
+							t.Fatalf("cursor scan = %d, want %d", len(rest), len(ms)-2)
+						}
+						sameMessage(t, ms[2], rest[0])
+					}
+					if lim := p.ScanAttribute(a, 0, 2); len(lim) != 2 {
+						t.Fatalf("limited scan = %d, want 2", len(lim))
+					}
+				}
+				// Merged scan across two attributes, globally seq-ordered.
+				set := attr.Set{testAttr(0), testAttr(1)}
+				merged := p.ScanAttributes(set, 0, 0)
+				if len(merged) != 2*perAttr {
+					t.Fatalf("ScanAttributes = %d, want %d", len(merged), 2*perAttr)
+				}
+				for i := 1; i < len(merged); i++ {
+					if merged[i-1].Seq >= merged[i].Seq {
+						t.Fatalf("merged scan out of order at %d", i)
+					}
+				}
+				if lim := p.ScanAttributes(set, 0, 3); len(lim) != 3 {
+					t.Fatalf("limited merged scan = %d, want 3", len(lim))
+				}
+			}
+			check(p)
+
+			// KV round-trip through the same provider.
+			kv, err := p.KV("policy")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				if err := kv.Put(fmt.Sprintf("grant/%d", i), []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := kv.Delete("grant/3"); err != nil {
+				t.Fatal(err)
+			}
+			if kv.Len() != 19 {
+				t.Fatalf("kv.Len = %d, want 19", kv.Len())
+			}
+			if _, ok := kv.Get("grant/3"); ok {
+				t.Fatal("deleted key still present")
+			}
+			if v, ok := kv.Get("grant/7"); !ok || v[0] != 7 {
+				t.Fatalf("kv.Get(grant/7) = %v, %v", v, ok)
+			}
+			if _, err := p.KV("../escape"); err == nil {
+				t.Fatal("path-escaping KV name accepted")
+			}
+
+			if backend == BackendMemory {
+				if err := p.Close(); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			// Durable backends: everything survives a close/reopen, with
+			// the backend auto-detected from the directory.
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(Config{Dir: dir, Sync: SyncNever})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer re.Close()
+			check(re)
+			kv2, err := re.KV("policy")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kv2.Len() != 19 {
+				t.Fatalf("reopened kv.Len = %d, want 19", kv2.Len())
+			}
+			// New appends continue above every existing sequence number.
+			top, err := re.Append(context.Background(), testMessage(testAttr(0), 999))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seq := range want {
+				if top <= seq {
+					t.Fatalf("post-reopen seq %d not above existing %d", top, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentAppends hammers the sharded provider from many
+// goroutines and checks the sequence-number contract: globally unique,
+// per-shard strictly monotonic in append order, all durable on reopen.
+func TestShardedConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(Config{Dir: dir, Sync: SyncAlways, Options: Options{
+		Backend: BackendSharded, Shards: 8, GroupCommit: 200 * time.Microsecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 30
+	var wg sync.WaitGroup
+	seqs := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a := testAttr((w + i) % 16)
+				seq, err := p.Append(context.Background(), testMessage(a, w*perWorker+i))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				seqs[w] = append(seqs[w], seq)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	seen := make(map[uint64]bool)
+	for _, ws := range seqs {
+		for _, s := range ws {
+			if seen[s] {
+				t.Fatalf("duplicate seq %d", s)
+			}
+			seen[s] = true
+		}
+	}
+	if p.Count() != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", p.Count(), workers*perWorker)
+	}
+	stats := p.ShardStats()
+	if len(stats) != 8 {
+		t.Fatalf("ShardStats = %d entries, want 8", len(stats))
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Messages
+	}
+	if total != workers*perWorker {
+		t.Fatalf("shard message total = %d, want %d", total, workers*perWorker)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Config{Dir: dir, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Shards() != 8 {
+		t.Fatalf("reopened shards = %d, want 8", re.Shards())
+	}
+	if re.Count() != workers*perWorker {
+		t.Fatalf("reopened Count = %d, want %d", re.Count(), workers*perWorker)
+	}
+	for s := range seen {
+		if _, ok := re.Get(s); !ok {
+			t.Fatalf("acked seq %d lost across reopen", s)
+		}
+	}
+	// Per-attribute scans are per-shard and must come back in strictly
+	// increasing sequence order (monotonic within the shard).
+	for i := 0; i < 16; i++ {
+		scan := re.ScanAttribute(testAttr(i), 0, 0)
+		for j := 1; j < len(scan); j++ {
+			if scan[j-1].Seq >= scan[j].Seq {
+				t.Fatalf("attr %d scan not monotonic", i)
+			}
+		}
+	}
+}
+
+// TestGroupCommitAmortizesFsyncs checks the headline property: under
+// concurrent load with SyncAlways semantics, the sharded provider issues
+// fewer fsyncs than appends because batched waiters share syncs.
+func TestGroupCommitAmortizesFsyncs(t *testing.T) {
+	p, err := Open(Config{Dir: t.TempDir(), Sync: SyncAlways, Options: Options{
+		Backend: BackendSharded, Shards: 2, GroupCommit: 2 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const workers, perWorker = 16, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.Append(context.Background(), testMessage(testAttr(w%4), i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	var appends, fsyncs uint64
+	for _, st := range p.ShardStats() {
+		appends += st.Appends
+		fsyncs += st.Fsyncs
+	}
+	if appends != workers*perWorker {
+		t.Fatalf("appends = %d, want %d", appends, workers*perWorker)
+	}
+	if fsyncs == 0 {
+		t.Fatal("no fsyncs recorded under SyncAlways")
+	}
+	if fsyncs >= appends {
+		t.Fatalf("group commit did not amortize: %d fsyncs for %d appends", fsyncs, appends)
+	}
+	t.Logf("group commit: %d appends, %d fsyncs (%.2f appends/fsync)",
+		appends, fsyncs, float64(appends)/float64(fsyncs))
+}
+
+// TestShardedMigration is the lossless-reshard round trip: a v1 (local
+// layout) directory opened with the sharded backend keeps every message
+// under its original sequence number and every KV entry, freezes the v1
+// directories, and keeps working across further reopens.
+func TestShardedMigration(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendLocal}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	want := make(map[uint64]*Message)
+	for i := 0; i < n; i++ {
+		m := testMessage(testAttr(i%9), i)
+		seq, err := v1.Append(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := *m
+		cp.Seq = seq
+		want[seq] = &cp
+	}
+	for _, name := range []string{"policy", "users"} {
+		kv, err := v1.KV(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := kv.Put(fmt.Sprintf("%s-key-%d", name, i), []byte(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := v1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendSharded, Shards: 8}})
+	if err != nil {
+		t.Fatalf("reshard open: %v", err)
+	}
+	if sh.Count() != n {
+		t.Fatalf("resharded Count = %d, want %d", sh.Count(), n)
+	}
+	for seq, w := range want {
+		g, ok := sh.Get(seq)
+		if !ok {
+			t.Fatalf("seq %d lost in reshard", seq)
+		}
+		sameMessage(t, w, g)
+	}
+	for _, name := range []string{"policy", "users"} {
+		kv, err := sh.KV(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kv.Len() != 10 {
+			t.Fatalf("resharded kv %s Len = %d, want 10", name, kv.Len())
+		}
+		if v, ok := kv.Get(name + "-key-3"); !ok || string(v) != name {
+			t.Fatalf("resharded kv %s lost a key", name)
+		}
+	}
+	// The v1 directories are frozen, not deleted.
+	for _, frozen := range []string{"messages.v1", "policy.v1", "users.v1"} {
+		if _, err := os.Stat(filepath.Join(dir, frozen)); err != nil {
+			t.Fatalf("frozen %s: %v", frozen, err)
+		}
+	}
+	// New appends continue above the migrated range.
+	top, err := sh.Append(context.Background(), testMessage(testAttr(0), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := range want {
+		if top <= seq {
+			t.Fatalf("post-migration seq %d not above migrated %d", top, seq)
+		}
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auto-detect on reopen, and no double migration.
+	re, err := Open(Config{Dir: dir, Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Shards() != 8 {
+		t.Fatalf("auto-detected shards = %d, want 8", re.Shards())
+	}
+	if re.Count() != n+1 {
+		t.Fatalf("reopened Count = %d, want %d", re.Count(), n+1)
+	}
+}
+
+// TestOpenConfigErrors pins the backend-selection error cases.
+func TestOpenConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendSharded, Shards: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendLocal}}); err == nil {
+		t.Fatal("opening a sharded dir with the local backend must fail")
+	}
+	if _, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendSharded, Shards: 6}}); err == nil {
+		t.Fatal("shard-count conflict must fail")
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), Sync: SyncNever, Options: Options{Backend: "bogus"}}); err == nil {
+		t.Fatal("unknown backend must fail")
+	}
+	if _, err := Open(Config{Sync: SyncNever}); err == nil {
+		t.Fatal("missing Dir must fail")
+	}
+	// Matching explicit shard count reopens fine.
+	re, err := Open(Config{Dir: dir, Sync: SyncNever, Options: Options{Backend: BackendSharded, Shards: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+}
+
+// TestCompactHeuristic verifies Compact's threshold behavior over the
+// durable backends.
+func TestCompactHeuristic(t *testing.T) {
+	for _, backend := range []string{BackendLocal, BackendSharded} {
+		t.Run(backend, func(t *testing.T) {
+			p := openBackend(t, backend, t.TempDir())
+			defer p.Close()
+			kv, err := p.KV("policy")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Churn one key hard: mutations ≫ live keys.
+			for i := 0; i < 100; i++ {
+				if err := kv.Put("hot", []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n, err := p.Compact(1 << 20); err != nil || n != 0 {
+				t.Fatalf("Compact below threshold = %d, %v; want 0, nil", n, err)
+			}
+			n, err := p.Compact(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Fatal("Compact above threshold did nothing")
+			}
+			if muts := kv.Mutations(); muts >= 100 {
+				t.Fatalf("mutations not reset by compaction: %d", muts)
+			}
+			if v, ok := kv.Get("hot"); !ok || v[0] != 99 {
+				t.Fatalf("compaction lost data: %v, %v", v, ok)
+			}
+		})
+	}
+}

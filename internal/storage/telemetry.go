@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"mwskit/internal/metrics"
+)
+
+// shardTelemetry tracks one partition's counters and, when a registry is
+// supplied, mirrors them into labeled series so the daemons' /metrics
+// endpoint exposes per-shard load (storage_shard_appends{shard="3"} …).
+// The atomic fields are the source of truth; the registry series are
+// resolved once and bumped alongside, keeping the hot path at a couple
+// of atomic adds.
+type shardTelemetry struct {
+	shard      int
+	appends    atomic.Uint64
+	fsyncs     atomic.Uint64
+	writeBytes atomic.Uint64
+	messages   atomic.Int64
+
+	mAppends  *metrics.Counter
+	mFsyncs   *metrics.Counter
+	mBytes    *metrics.Counter
+	mMessages *metrics.Gauge
+}
+
+func newShardTelemetry(shard int, reg *metrics.Registry) *shardTelemetry {
+	t := &shardTelemetry{shard: shard}
+	if reg != nil {
+		l := metrics.L("shard", strconv.Itoa(shard))
+		t.mAppends = reg.Counter("storage_shard_appends", l)
+		t.mFsyncs = reg.Counter("storage_shard_fsyncs", l)
+		t.mBytes = reg.Counter("storage_shard_write_bytes", l)
+		t.mMessages = reg.Gauge("storage_shard_messages", l)
+	}
+	return t
+}
+
+func (t *shardTelemetry) append(bytes int) {
+	t.appends.Add(1)
+	if bytes > 0 {
+		t.writeBytes.Add(uint64(bytes))
+	}
+	if t.mAppends != nil {
+		t.mAppends.Inc()
+		if bytes > 0 {
+			t.mBytes.Add(uint64(bytes))
+		}
+	}
+}
+
+func (t *shardTelemetry) fsync() {
+	t.fsyncs.Add(1)
+	if t.mFsyncs != nil {
+		t.mFsyncs.Inc()
+	}
+}
+
+func (t *shardTelemetry) setMessages(n int) {
+	t.messages.Store(int64(n))
+	if t.mMessages != nil {
+		t.mMessages.Set(int64(n))
+	}
+}
+
+func (t *shardTelemetry) addMessages(delta int) {
+	v := t.messages.Add(int64(delta))
+	if t.mMessages != nil {
+		t.mMessages.Set(v)
+	}
+}
+
+func (t *shardTelemetry) sample() ShardStat {
+	return ShardStat{
+		Shard:      t.shard,
+		Messages:   int(t.messages.Load()),
+		Appends:    t.appends.Load(),
+		Fsyncs:     t.fsyncs.Load(),
+		WriteBytes: t.writeBytes.Load(),
+	}
+}

@@ -38,6 +38,18 @@ type Message struct {
 	Tags [][]byte
 }
 
+// EncodeMessage renders m in the store's stable on-disk record format.
+// Exported for storage providers that frame message records themselves
+// (the sharded provider prefixes each record with its global sequence
+// number); the format is exactly what MessageStore appends to its WAL.
+func EncodeMessage(m *Message) []byte { return m.encode() }
+
+// DecodeMessage parses a record produced by EncodeMessage, stamping the
+// caller-supplied sequence number.
+func DecodeMessage(seq uint64, payload []byte) (*Message, error) {
+	return decodeMessage(seq, payload)
+}
+
 func (m *Message) encode() []byte {
 	var e enc
 	e.putString(m.DeviceID)

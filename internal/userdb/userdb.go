@@ -16,12 +16,12 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
 	"mwskit/internal/kdf"
-	"mwskit/internal/store"
-	"mwskit/internal/wal"
+	"mwskit/internal/storage"
 )
 
 // CredentialKeyLen is the byte length of the derived credential key.
@@ -44,17 +44,26 @@ type Record struct {
 // DB is the user database.
 type DB struct {
 	mu sync.RWMutex
-	kv *store.KV
+	kv storage.KV
+	// closer is set only for standalone databases opened via Open;
+	// provider-supplied KVs (New) are closed by their provider.
+	closer io.Closer
 }
 
-// Open opens (or creates) the user database at dir.
-func Open(dir string, sync wal.SyncPolicy) (*DB, error) {
-	kv, err := store.OpenKV(dir, sync)
+// Open opens (or creates) a standalone user database at dir. Services
+// running over a storage.Provider should pass the provider's KV to New
+// instead.
+func Open(dir string, sync storage.SyncPolicy) (*DB, error) {
+	kv, err := storage.OpenKV(dir, sync)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{kv: kv}, nil
+	return &DB{kv: kv, closer: kv}, nil
 }
+
+// New builds the user database over an existing KV (typically
+// storage.Provider.KV("users")); the provider keeps lifecycle ownership.
+func New(kv storage.KV) *DB { return &DB{kv: kv} }
 
 func credKeyKey(id string) string { return "cred/" + id }
 func pubKeyKey(id string) string  { return "pub/" + id }
@@ -148,5 +157,11 @@ func (db *DB) Identities() []string {
 	return out
 }
 
-// Close releases the underlying store.
-func (db *DB) Close() error { return db.kv.Close() }
+// Close releases the underlying store when this DB owns it (opened via
+// Open); a no-op for provider-backed DBs.
+func (db *DB) Close() error {
+	if db.closer != nil {
+		return db.closer.Close()
+	}
+	return nil
+}

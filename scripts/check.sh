@@ -31,10 +31,12 @@ go test -race ./...
 
 # Opt-in hot-path benchmark: MWSBENCH=1 runs the end-to-end load
 # generator (phase 0 offline microbenchmarks included) and writes
-# BENCH_PR6.json — now with the crypto-stage counter deltas
-# (pairings per deposit, g_ID cache hit rate, WAL fsyncs). Off by
-# default — it adds minutes on the bf80 preset.
+# BENCH_PR7.json — now with the mixed-phase storage backend comparison
+# (local vs sharded under SyncAlways: deposit throughput, latency
+# percentiles, fsyncs per acked deposit). Off by default — it adds
+# minutes on the bf80 preset.
 if [ "${MWSBENCH:-0}" = "1" ]; then
 	go run ./cmd/mwsbench -preset "${MWSBENCH_PRESET:-test}" -meters 10 \
-		-messages 120 -nonce-epoch 64 -json BENCH_PR6.json
+		-messages 120 -nonce-epoch 64 -compare-storage \
+		-json BENCH_PR7.json
 fi
