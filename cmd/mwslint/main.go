@@ -1,21 +1,29 @@
 // Command mwslint runs the project's static-analysis suite: the coding
 // invariants behind the paper's confidentiality argument (constant-time
 // tag comparison, CSPRNG-only randomness, no secrets in logs, context
-// propagation, wire op/route/codec consistency, and the interprocedural
+// propagation, wire op/route/codec consistency, the interprocedural
 // taint invariants — plaintext/private keys never reach storage or the
 // wire, no constant or reused nonces, key material wiped on error
-// paths), enforced at build time.
+// paths — and the concurrency invariants: consistent lock ordering, no
+// blocking I/O under storage locks, no mixed atomic/plain access, no
+// leaked goroutines), enforced at build time.
 //
 // Usage:
 //
-//	mwslint [-C dir] [-json] [packages]
+//	mwslint [-C dir] [-json] [-timings] [-baseline file] [packages]
 //
 // Packages default to ./... relative to dir. Exit status is 1 when any
-// analyzer reports an unsuppressed diagnostic, 2 when loading fails.
-// With -json each diagnostic is emitted as one JSON object per line
-// (file/line/col/analyzer/message) for CI annotation tooling; exit
-// codes are unchanged. Suppress a finding with an annotated, justified
-// ignore:
+// analyzer reports an unsuppressed diagnostic (or the suppression
+// baseline is exceeded), 2 when loading fails. With -json each
+// diagnostic is emitted as one JSON object per line
+// (file/line/col/analyzer/message), followed by a single trailing
+// summary object ("summary":true) carrying the suppressed findings
+// (analyzer, position, reason) and per-analyzer timings; exit codes are
+// unchanged. -timings prints per-analyzer wall times to stderr.
+// -baseline reads {"suppressions": N} and fails the run when the tree
+// carries more suppressions than the checked-in budget, so silencing a
+// finding is a reviewed change, not a drive-by. Suppress a finding with
+// an annotated, justified ignore:
 //
 //	//mwslint:ignore <analyzer> <reason>
 package main
@@ -42,11 +50,42 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// jsonSuppression is one silenced finding in the -json summary.
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// jsonTiming is one analyzer's wall time in the -json summary.
+type jsonTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
+}
+
+// jsonSummary is the single trailing -json object; "summary":true
+// distinguishes it from diagnostic lines.
+type jsonSummary struct {
+	Summary    bool              `json:"summary"`
+	Findings   int               `json:"findings"`
+	Suppressed []jsonSuppression `json:"suppressed"`
+	Timings    []jsonTiming      `json:"timings"`
+}
+
+// baselineFile is the checked-in suppression budget.
+type baselineFile struct {
+	Suppressions int `json:"suppressions"`
+}
+
 func run(args []string) int {
 	fs := flag.NewFlagSet("mwslint", flag.ContinueOnError)
 	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of plain text")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line plus a trailing summary object")
+	timings := fs.Bool("timings", false, "print per-analyzer wall times to stderr")
+	baseline := fs.String("baseline", "", "JSON `file` with {\"suppressions\": N}; fail if the tree exceeds it")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,13 +100,13 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Run(*dir, patterns, analyzers)
+	rep, err := lint.RunReport(*dir, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mwslint:", err)
 		return 2
 	}
 	enc := json.NewEncoder(os.Stdout)
-	for _, d := range diags {
+	for _, d := range rep.Diags {
 		if *jsonOut {
 			// Encode cannot fail on this shape; one object per line.
 			enc.Encode(jsonDiagnostic{
@@ -81,9 +120,56 @@ func run(args []string) int {
 		}
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mwslint: %d finding(s)\n", len(diags))
-		return 1
+	if *jsonOut {
+		sum := jsonSummary{
+			Summary:    true,
+			Findings:   len(rep.Diags),
+			Suppressed: make([]jsonSuppression, 0, len(rep.Suppressed)),
+			Timings:    make([]jsonTiming, 0, len(rep.Timings)),
+		}
+		for _, s := range rep.Suppressed {
+			sum.Suppressed = append(sum.Suppressed, jsonSuppression{
+				File:     s.Pos.Filename,
+				Line:     s.Pos.Line,
+				Col:      s.Pos.Column,
+				Analyzer: s.Analyzer,
+				Reason:   s.Reason,
+			})
+		}
+		for _, tm := range rep.Timings {
+			sum.Timings = append(sum.Timings, jsonTiming{
+				Analyzer: tm.Analyzer,
+				Millis:   float64(tm.Duration.Microseconds()) / 1000,
+			})
+		}
+		enc.Encode(sum)
 	}
-	return 0
+	if *timings {
+		for _, tm := range rep.Timings {
+			fmt.Fprintf(os.Stderr, "mwslint: %-14s %8.1fms\n", tm.Analyzer, float64(tm.Duration.Microseconds())/1000)
+		}
+	}
+	code := 0
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mwslint: baseline:", err)
+			return 2
+		}
+		var b baselineFile
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fmt.Fprintf(os.Stderr, "mwslint: baseline %s: %v\n", *baseline, err)
+			return 2
+		}
+		if n := len(rep.Suppressed); n > b.Suppressions {
+			fmt.Fprintf(os.Stderr, "mwslint: %d suppression(s) exceed the baseline budget of %d (%s); new ignores need a baseline bump in the same change\n",
+				n, b.Suppressions, *baseline)
+			code = 1
+		}
+	}
+	if len(rep.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mwslint: %d finding(s)\n", len(rep.Diags))
+		code = 1
+	}
+	return code
 }

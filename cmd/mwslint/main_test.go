@@ -90,11 +90,14 @@ func persist(rec []byte) error {
 		t.Fatalf("mwslint -json exit code = %d, want 1; output:\n%s", code, out)
 	}
 	sawPlainflow := false
+	sawSummary := false
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 		if !strings.HasPrefix(line, "{") {
 			continue // the trailing "mwslint: N finding(s)" stderr line
 		}
 		var d struct {
+			Summary  bool   `json:"summary"`
+			Findings int    `json:"findings"`
 			File     string `json:"file"`
 			Line     int    `json:"line"`
 			Analyzer string `json:"analyzer"`
@@ -102,6 +105,19 @@ func persist(rec []byte) error {
 		}
 		if err := json.Unmarshal([]byte(line), &d); err != nil {
 			t.Fatalf("non-JSON diagnostic line %q: %v", line, err)
+		}
+		if d.Summary {
+			if sawSummary {
+				t.Fatalf("more than one summary line:\n%s", out)
+			}
+			sawSummary = true
+			if d.Findings == 0 {
+				t.Fatalf("summary reports zero findings: %q", line)
+			}
+			continue
+		}
+		if sawSummary {
+			t.Fatalf("diagnostic after the summary line: %q", line)
 		}
 		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
 			t.Fatalf("incomplete JSON diagnostic: %q", line)
@@ -112,6 +128,9 @@ func persist(rec []byte) error {
 	}
 	if !sawPlainflow {
 		t.Fatalf("-json output has no plainflow diagnostic:\n%s", out)
+	}
+	if !sawSummary {
+		t.Fatalf("-json output has no trailing summary object:\n%s", out)
 	}
 }
 
@@ -206,6 +225,195 @@ func Encapsulate(sys *pairing.System, base ec.Point) (ec.Point, error) {
 	}
 }
 
+// TestSeededCrossPackageDeadlock seeds a module where one package takes
+// A then B through a helper and a sibling takes B then A directly, and
+// asserts the binary exits 1 naming lockorder: the acquisition graph
+// must stitch the cycle together across the package boundary.
+func TestSeededCrossPackageDeadlock(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(tmp, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchdeadlock\n\ngo 1.24\n")
+	write("locks/locks.go", `// Package locks owns the shared pair.
+package locks
+
+import "sync"
+
+// Pair carries two mutexes with a (violated) A-before-B discipline.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+// LockB acquires B for a caller; the caller may already hold A.
+func LockB(p *Pair) { p.B.Lock() }
+
+// UnlockB releases B.
+func UnlockB(p *Pair) { p.B.Unlock() }
+`)
+	write("alpha/alpha.go", `// Package alpha takes A then B (through the helper).
+package alpha
+
+import "scratchdeadlock/locks"
+
+// AB nests B under A.
+func AB(p *locks.Pair) {
+	p.A.Lock()
+	defer p.A.Unlock()
+	locks.LockB(p)
+	locks.UnlockB(p)
+}
+`)
+	write("beta/beta.go", `// Package beta takes B then A: the opposite order.
+package beta
+
+import "scratchdeadlock/locks"
+
+// BA nests A under B.
+func BA(p *locks.Pair) {
+	p.B.Lock()
+	defer p.B.Unlock()
+	p.A.Lock()
+	p.A.Unlock()
+}
+`)
+
+	cmd := exec.Command("go", "run", "./cmd/mwslint", "-C", tmp, "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("mwslint should exit 1: err=%v\n%s", err, out)
+	}
+	if ee.ExitCode() != 1 {
+		t.Fatalf("mwslint exit code = %d, want 1; output:\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "lockorder") {
+		t.Fatalf("mwslint output does not name lockorder:\n%s", out)
+	}
+	if !strings.Contains(string(out), "cycle") {
+		t.Fatalf("mwslint output does not describe the ordering cycle:\n%s", out)
+	}
+}
+
+// TestSuppressedArrayAndBaseline seeds a module whose only finding is
+// silenced by a justified ignore, and asserts (a) the -json summary
+// surfaces it in the suppressed array with its reason, (b) a baseline
+// of 0 fails the run, and (c) a baseline of 1 passes it.
+func TestSuppressedArrayAndBaseline(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(tmp, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchignore\n\ngo 1.24\n")
+	write("storage/storage.go", `// Package storage couples an fsync to its lock, on purpose.
+package storage
+
+import (
+	"os"
+	"sync"
+)
+
+// S is a mutex-guarded file.
+type S struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Flush fsyncs under the lock; the ignore below sanctions it.
+func (s *S) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//mwslint:ignore lockheld scratch: this flush couples fsync to its lock by design
+	return s.f.Sync()
+}
+`)
+	write("budget0.json", `{"suppressions": 0}`)
+	write("budget1.json", `{"suppressions": 1}`)
+
+	runLint := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command("go", append([]string{"run", "./cmd/mwslint", "-C", tmp}, args...)...)
+		cmd.Dir = "../.."
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running mwslint: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := runLint("-json", "./...")
+	if code != 0 {
+		t.Fatalf("suppressed tree should exit 0, got %d:\n%s", code, out)
+	}
+	var sum struct {
+		Summary    bool `json:"summary"`
+		Findings   int  `json:"findings"`
+		Suppressed []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+		} `json:"suppressed"`
+		Timings []struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"ms"`
+		} `json:"timings"`
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil || !sum.Summary {
+		t.Fatalf("last line is not the summary object (%v): %q", err, lines[len(lines)-1])
+	}
+	if sum.Findings != 0 {
+		t.Errorf("summary findings = %d, want 0", sum.Findings)
+	}
+	if len(sum.Suppressed) != 1 {
+		t.Fatalf("suppressed array = %+v, want exactly 1 entry", sum.Suppressed)
+	}
+	s := sum.Suppressed[0]
+	if s.Analyzer != "lockheld" || s.Line == 0 || !strings.HasSuffix(s.File, "storage.go") {
+		t.Errorf("suppressed entry lacks analyzer/position: %+v", s)
+	}
+	if !strings.Contains(s.Reason, "couples fsync to its lock") {
+		t.Errorf("suppressed entry lacks the directive reason: %+v", s)
+	}
+	if len(sum.Timings) == 0 {
+		t.Errorf("summary carries no per-analyzer timings:\n%s", out)
+	}
+
+	out, code = runLint("-baseline", filepath.Join(tmp, "budget0.json"), "./...")
+	if code != 1 {
+		t.Fatalf("baseline 0 should fail with exit 1, got %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "exceed the baseline") {
+		t.Fatalf("baseline failure not explained:\n%s", out)
+	}
+
+	out, code = runLint("-baseline", filepath.Join(tmp, "budget1.json"), "./...")
+	if code != 0 {
+		t.Fatalf("baseline 1 should pass, got %d:\n%s", code, out)
+	}
+}
+
 // TestListNamesEveryAnalyzer keeps -list in sync with the suite.
 func TestListNamesEveryAnalyzer(t *testing.T) {
 	cmd := exec.Command("go", "run", "./cmd/mwslint", "-list")
@@ -217,6 +425,7 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 	for _, name := range []string{
 		"cryptocompare", "randsource", "secretlog", "ctxflow", "wireops",
 		"plainflow", "noncereuse", "keyzero", "vartime",
+		"lockorder", "lockheld", "atomicmix", "goleak",
 	} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix reports mixed atomic/plain access: once any site reaches a
+// struct field or package variable through a sync/atomic function, every
+// other access to that object must be atomic too, or the happens-before
+// edges the atomic side establishes guarantee nothing and plain readers
+// see torn or stale values. Identity is object-granular and abstract
+// (declaring type + field, or package + var), like plainflow, so the
+// check sees across packages. Typed atomics (atomic.Uint64 etc.) are out
+// of scope: their fields are unexported, so the compiler already forbids
+// plain access.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "report plain reads/writes of fields and package vars that other sites access through sync/atomic",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pass *ProgramPass) {
+	// Pass 1: collect the abstract objects whose addresses feed
+	// sync/atomic calls, and remember the operand nodes so the atomic
+	// sites don't report themselves.
+	atomicAt := make(map[string]token.Pos)
+	sanctioned := make(map[ast.Node]bool)
+	forEachFunc(pass.Prog, func(pkg *Package, fd *ast.FuncDecl, fnKey string) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeFromPkg(pkg.Info, call, "sync/atomic") == "" || len(call.Args) == 0 {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			ref := concRefOf(pkg, fnKey, u.X)
+			if ref.kind != concKeyField && ref.kind != concKeyPkgVar {
+				return true
+			}
+			sanctioned[ast.Unparen(u.X)] = true
+			if _, ok := atomicAt[ref.key]; !ok {
+				atomicAt[ref.key] = u.X.Pos()
+			}
+			return true
+		})
+	})
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: report every non-sanctioned access to those objects.
+	fset := pass.Prog.Fset
+	forEachFunc(pass.Prog, func(pkg *Package, fd *ast.FuncDecl, fnKey string) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if sanctioned[e] {
+				return false
+			}
+			switch e.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+			default:
+				return true
+			}
+			ref := concRefOf(pkg, fnKey, e)
+			if ref.kind != concKeyField && ref.kind != concKeyPkgVar {
+				return true
+			}
+			first, ok := atomicAt[ref.key]
+			if !ok {
+				return true
+			}
+			pass.Reportf(e.Pos(), "plain access to %s, which is accessed via sync/atomic at %s; mixing atomic and direct access is a data race", ref.key, shortPos(fset, first))
+			return false
+		})
+	})
+}
+
+// forEachFunc applies fn to every function declaration with a body in
+// the program, in deterministic load order.
+func forEachFunc(prog *Program, fn func(pkg *Package, fd *ast.FuncDecl, fnKey string)) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				tfn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn(pkg, fd, concFuncKey(tfn))
+			}
+		}
+	}
+}

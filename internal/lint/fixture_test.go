@@ -159,6 +159,51 @@ func TestVarTimeFixture(t *testing.T) {
 	)
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/lockorder/locks",
+		"./testdata/src/lockorder/alpha",
+		"./testdata/src/lockorder/beta",
+	)
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/lockheld/storage")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/atomicmix/counter",
+		"./testdata/src/atomicmix/reader",
+	)
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	checkFixture(t, "./testdata/src/goleak/storage")
+}
+
+// TestIgnoreMultiLineStatement is the regression fixture for
+// statement-extent suppression: the directive above a wrapped statement
+// must cover its inner lines (SyncTwo) but not jump a blank line
+// (SyncApart), and the suppressed finding must surface in the report
+// with its reason.
+func TestIgnoreMultiLineStatement(t *testing.T) {
+	checkFixture(t, "./testdata/src/ignoremulti/storage")
+
+	prog := loadFixture(t, "./testdata/src/ignoremulti/storage")
+	rep := lint.RunProgramReport(prog, lint.DefaultAnalyzers())
+	if len(rep.Suppressed) != 1 {
+		t.Fatalf("want exactly 1 suppressed diagnostic, got %v", rep.Suppressed)
+	}
+	s := rep.Suppressed[0]
+	if s.Analyzer != "lockheld" {
+		t.Errorf("suppressed analyzer = %q, want lockheld", s.Analyzer)
+	}
+	if !strings.Contains(s.Reason, "couples fsync to its lock") {
+		t.Errorf("suppressed reason = %q, want the directive's justification", s.Reason)
+	}
+}
+
 // TestFixtureWantsAreExercised guards the harness itself: a fixture with
 // no want comments would vacuously pass, so assert each fixture carries
 // at least one expectation.
@@ -174,6 +219,11 @@ func TestFixtureWantsAreExercised(t *testing.T) {
 		{"./testdata/src/noncereuse/symenc", "./testdata/src/noncereuse/enc"},
 		{"./testdata/src/keyzero/kdf", "./testdata/src/keyzero/symenc", "./testdata/src/keyzero/ticket"},
 		{"./testdata/src/vartime/ec", "./testdata/src/vartime/pairing", "./testdata/src/vartime/bfibe", "./testdata/src/vartime/tpkg", "./testdata/src/vartime/use"},
+		{"./testdata/src/lockorder/locks", "./testdata/src/lockorder/alpha", "./testdata/src/lockorder/beta"},
+		{"./testdata/src/lockheld/storage"},
+		{"./testdata/src/atomicmix/counter", "./testdata/src/atomicmix/reader"},
+		{"./testdata/src/goleak/storage"},
+		{"./testdata/src/ignoremulti/storage"},
 	} {
 		prog := loadFixture(t, patterns...)
 		if len(collectWants(t, prog)) == 0 {

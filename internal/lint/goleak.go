@@ -1,0 +1,561 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak proves an exit path for every goroutine launched in the
+// warehouse's long-lived layers (storage, mws, wire, wal, and the
+// daemons). A goroutine with no way out pins its captured shard locks,
+// WAL handles, and connections for the life of the process — invisible
+// to the race detector, fatal at "millions of users" scale.
+//
+// Three shapes are flagged:
+//   - an infinite loop with no return, break, goto, or terminating call;
+//   - a loop whose only exits are select arms waiting on a channel that
+//     the rest of the program never closes, sends to, or even aliases
+//     (an unclosed quit channel);
+//   - a straight-line send or receive on such a dead channel.
+//
+// Channels the analyzer cannot identify (locals, parameters, external
+// packages like time.Ticker.C, or anything aliased/escaped) are assumed
+// alive, so a ctx.Done() arm or a closed quit channel sanctions the
+// loop.
+var GoLeak = &Analyzer{
+	Name:       "goleak",
+	Doc:        "prove an exit path for goroutines launched in storage/mws/wire/wal and the daemons",
+	RunProgram: runGoLeak,
+}
+
+// goLeakScopes are the package tails whose goroutine launches are
+// checked. Bodies may live elsewhere; the launch site decides scope.
+var goLeakScopes = []string{"storage", "mws", "wire", "wal", "mwsd", "pkgd"}
+
+// chanActivity is the program-wide record of what happens to each
+// abstract channel: closed/sent/received anywhere, constructed with a
+// buffer, or escaped into places the analyzer cannot follow (aliased,
+// passed to a call, returned).
+type chanActivity struct {
+	closed   map[string]bool
+	sent     map[string]bool
+	recvd    map[string]bool
+	buffered map[string]bool
+	escaped  map[string]bool
+}
+
+// recvAlive reports whether a receive on ref can ever complete, erring
+// toward alive for anything underivable.
+func (a *chanActivity) recvAlive(idx *concIndex, ref concRef) bool {
+	if ref.kind != concKeyField && ref.kind != concKeyPkgVar {
+		return true
+	}
+	if !idx.inProg[ref.path] {
+		return true
+	}
+	return a.closed[ref.key] || a.sent[ref.key] || a.escaped[ref.key]
+}
+
+// sendAlive is the send-side dual: someone receives, the channel has a
+// buffer, or it was closed (a send then panics, which still terminates).
+func (a *chanActivity) sendAlive(idx *concIndex, ref concRef) bool {
+	if ref.kind != concKeyField && ref.kind != concKeyPkgVar {
+		return true
+	}
+	if !idx.inProg[ref.path] {
+		return true
+	}
+	return a.recvd[ref.key] || a.buffered[ref.key] || a.escaped[ref.key] || a.closed[ref.key]
+}
+
+func runGoLeak(pass *ProgramPass) {
+	idx, _ := concFor(pass.Prog)
+	act := collectChanActivity(pass.Prog)
+	analyzed := make(map[token.Pos]bool)
+	for _, cf := range idx.ordered {
+		if !pathEndsIn(cf.pkg.Path, goLeakScopes...) {
+			continue
+		}
+		launcher := cf
+		ast.Inspect(cf.decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			bodyPkg, bodyKey, body := resolveGoBody(idx, launcher, gs)
+			if body == nil || analyzed[body.Pos()] {
+				return true
+			}
+			analyzed[body.Pos()] = true
+			checkGoroutineBody(pass, idx, act, bodyPkg, bodyKey, body)
+			return true
+		})
+	}
+}
+
+// resolveGoBody finds the statements a go statement runs: a literal's
+// body, or the declaration of a statically-resolved callee.
+func resolveGoBody(idx *concIndex, cf *concFunc, gs *ast.GoStmt) (*Package, string, *ast.BlockStmt) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return cf.pkg, cf.key, lit.Body
+	}
+	callee := staticCallee(cf.pkg.Info, gs.Call)
+	if callee == nil {
+		return nil, "", nil
+	}
+	target := idx.byKey[concFuncKey(callee)]
+	if target == nil {
+		return nil, "", nil
+	}
+	return target.pkg, target.key, target.decl.Body
+}
+
+// checkGoroutineBody applies the three leak checks to one body.
+func checkGoroutineBody(pass *ProgramPass, idx *concIndex, act *chanActivity, pkg *Package, fnKey string, body *ast.BlockStmt) {
+	// Check 1 + 2: infinite loops.
+	var loops []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				loops = append(loops, n)
+			}
+		}
+		return true
+	})
+	for _, loop := range loops {
+		exits := loopExits(pkg, fnKey, loop)
+		if len(exits) == 0 {
+			pass.Reportf(loop.For, "goroutine runs an infinite loop with no return, break, or terminating call: it can never exit")
+			continue
+		}
+		allCommDead := true
+		for _, x := range exits {
+			if !x.hasComm {
+				allCommDead = false
+				break
+			}
+			alive := act.recvAlive(idx, x.ref)
+			if x.isSend {
+				alive = act.sendAlive(idx, x.ref)
+			}
+			if alive {
+				allCommDead = false
+				break
+			}
+		}
+		if !allCommDead {
+			continue
+		}
+		seen := make(map[token.Pos]bool)
+		for _, x := range exits {
+			if seen[x.commPos] {
+				continue
+			}
+			seen[x.commPos] = true
+			if x.isSend {
+				pass.Reportf(x.commPos, "goroutine's only exit path waits to send on %s, which nothing in the program ever receives from: the goroutine leaks", x.ref.key)
+			} else {
+				pass.Reportf(x.commPos, "goroutine's only exit path waits on %s, which is never closed or sent to anywhere in the program: the goroutine leaks", x.ref.key)
+			}
+		}
+	}
+
+	// Check 3: straight-line sends/receives on dead channels (select
+	// arms are handled above; a select with live siblings is fine).
+	inComm := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		s, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch c := cc.Comm.(type) {
+			case *ast.SendStmt:
+				inComm[c] = true
+			case *ast.ExprStmt:
+				if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					inComm[u] = true
+				}
+			case *ast.AssignStmt:
+				for _, e := range c.Rhs {
+					if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						inComm[u] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if inComm[n] {
+				return true
+			}
+			if ref := concRefOf(pkg, fnKey, n.Chan); !act.sendAlive(idx, ref) {
+				pass.Reportf(n.Arrow, "goroutine blocks forever sending to %s: no receiver, buffer, or close anywhere in the program", ref.key)
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || inComm[n] {
+				return true
+			}
+			if ref := concRefOf(pkg, fnKey, n.X); !act.recvAlive(idx, ref) {
+				pass.Reportf(n.OpPos, "goroutine blocks forever receiving from %s, which is never closed or sent to anywhere in the program", ref.key)
+			}
+		}
+		return true
+	})
+}
+
+// loopExit is one way control can leave an infinite loop, with the
+// select guard (if any) it sits behind.
+type loopExit struct {
+	pos     token.Pos
+	hasComm bool
+	isSend  bool
+	ref     concRef
+	commPos token.Pos
+}
+
+// loopExits collects the exits of loop: returns, breaks that reach the
+// loop (unlabeled at depth 0, any labeled break, any goto — both
+// conservative), and terminating calls. Each exit carries the innermost
+// select guard it is nested under.
+func loopExits(pkg *Package, fnKey string, loop *ast.ForStmt) []loopExit {
+	type commCtx struct {
+		ok     bool
+		isSend bool
+		ref    concRef
+		pos    token.Pos
+	}
+	var exits []loopExit
+	exit := func(pos token.Pos, c commCtx) {
+		exits = append(exits, loopExit{pos: pos, hasComm: c.ok, isSend: c.isSend, ref: c.ref, commPos: c.pos})
+	}
+	var walkStmt func(s ast.Stmt, depth int, comm commCtx)
+	walkBody := func(list []ast.Stmt, depth int, comm commCtx) {
+		for _, s := range list {
+			walkStmt(s, depth, comm)
+		}
+	}
+	walkStmt = func(s ast.Stmt, depth int, comm commCtx) {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			exit(s.Return, comm)
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if s.Label != nil || depth == 0 {
+					exit(s.Pos(), comm)
+				}
+			case token.GOTO:
+				exit(s.Pos(), comm)
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminatingCall(pkg.Info, call) {
+				exit(s.Pos(), comm)
+			}
+		case *ast.BlockStmt:
+			walkBody(s.List, depth, comm)
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, depth, comm)
+		case *ast.IfStmt:
+			walkBody(s.Body.List, depth, comm)
+			if s.Else != nil {
+				walkStmt(s.Else, depth, comm)
+			}
+		case *ast.ForStmt:
+			walkBody(s.Body.List, depth+1, comm)
+		case *ast.RangeStmt:
+			walkBody(s.Body.List, depth+1, comm)
+		case *ast.SwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					walkBody(cc.Body, depth+1, comm)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					walkBody(cc.Body, depth+1, comm)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				cc, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				c := commCtx{} // default arm: always schedulable, unguarded
+				switch cm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					c = commCtx{ok: true, isSend: true, ref: concRefOf(pkg, fnKey, cm.Chan), pos: cc.Case}
+				case *ast.ExprStmt:
+					if u, ok := ast.Unparen(cm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						c = commCtx{ok: true, ref: concRefOf(pkg, fnKey, u.X), pos: cc.Case}
+					}
+				case *ast.AssignStmt:
+					for _, e := range cm.Rhs {
+						if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+							c = commCtx{ok: true, ref: concRefOf(pkg, fnKey, u.X), pos: cc.Case}
+						}
+					}
+				}
+				walkBody(cc.Body, depth+1, c)
+			}
+		}
+	}
+	walkBody(loop.Body.List, 0, commCtx{})
+	return exits
+}
+
+// isTerminatingCall recognizes calls that end the goroutine outright.
+func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	if id := identOf(call.Fun); id != nil && id.Name == "panic" {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() {
+	case "os":
+		return callee.Name() == "Exit"
+	case "runtime":
+		return callee.Name() == "Goexit"
+	case "log":
+		switch callee.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}
+
+// collectChanActivity scans every function body and package-level
+// declaration in the program for channel lifecycle events.
+func collectChanActivity(prog *Program) *chanActivity {
+	act := &chanActivity{
+		closed:   make(map[string]bool),
+		sent:     make(map[string]bool),
+		recvd:    make(map[string]bool),
+		buffered: make(map[string]bool),
+		escaped:  make(map[string]bool),
+	}
+	mark := func(m map[string]bool, pkg *Package, fnKey string, e ast.Expr) {
+		ref := concRefOf(pkg, fnKey, e)
+		if ref.kind == concKeyField || ref.kind == concKeyPkgVar {
+			m[ref.key] = true
+		}
+	}
+	isChanExpr := func(pkg *Package, e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	// markEscaped flags derivable channels inside e as aliased beyond
+	// the analyzer's sight. Receive operands are skipped (the received
+	// value escapes, not the channel) and so are nested make calls.
+	var markEscaped func(pkg *Package, fnKey string, e ast.Expr)
+	markEscaped = func(pkg *Package, fnKey string, e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					return false
+				}
+			case *ast.SelectorExpr:
+				if isChanExpr(pkg, n) {
+					mark(act.escaped, pkg, fnKey, n)
+					return false
+				}
+			case *ast.Ident:
+				if isChanExpr(pkg, n) {
+					mark(act.escaped, pkg, fnKey, n)
+				}
+			}
+			return true
+		})
+	}
+	// makeChan reports whether e is a make(chan ...) and whether the
+	// buffer is provably non-zero.
+	makeChan := func(pkg *Package, e ast.Expr) (isMake, buffered bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false, false
+		}
+		id := identOf(call.Fun)
+		if id == nil || id.Name != "make" {
+			return false, false
+		}
+		if _, ok := pkg.Info.Uses[id].(*types.Builtin); !ok {
+			return false, false
+		}
+		if len(call.Args) == 0 || !isChanType(pkg, call.Args[0]) {
+			return false, false
+		}
+		if len(call.Args) < 2 {
+			return true, false
+		}
+		if tv, ok := pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+				return true, false
+			}
+		}
+		return true, true
+	}
+
+	handleAssign := func(pkg *Package, fnKey string, as *ast.AssignStmt) {
+		// Parallel assignment only lines up one-to-one; the multi-value
+		// forms (call, map index) cannot produce a trackable channel
+		// construction anyway.
+		for i, rhs := range as.Rhs {
+			if isMake, buf := makeChan(pkg, rhs); isMake {
+				if buf && i < len(as.Lhs) {
+					mark(act.buffered, pkg, fnKey, as.Lhs[i])
+				}
+				continue
+			}
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				continue // the receive case of the main scan covers it
+			}
+			markEscaped(pkg, fnKey, rhs)
+			// Assigning a non-make value into a derivable channel slot
+			// aliases it to something unseen: treat it as escaped too.
+			if i < len(as.Lhs) && isChanExpr(pkg, as.Lhs[i]) {
+				mark(act.escaped, pkg, fnKey, as.Lhs[i])
+			}
+		}
+	}
+	handleComposite := func(pkg *Package, fnKey string, cl *ast.CompositeLit) {
+		tv, ok := pkg.Info.Types[cl]
+		if !ok {
+			return
+		}
+		named := namedOf(tv.Type)
+		if named == nil || named.Obj().Pkg() == nil {
+			return
+		}
+		prefix := pkgTailOf(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "."
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isMake, buf := makeChan(pkg, kv.Value); isMake {
+				if buf {
+					act.buffered[prefix+key.Name] = true
+				}
+				continue
+			}
+			if isChanExpr(pkg, kv.Value) {
+				act.escaped[prefix+key.Name] = true
+				markEscaped(pkg, fnKey, kv.Value)
+			}
+		}
+	}
+
+	scan := func(pkg *Package, fnKey string, body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				id := identOf(n.Fun)
+				if id != nil {
+					if _, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+						if id.Name == "close" && len(n.Args) == 1 {
+							mark(act.closed, pkg, fnKey, n.Args[0])
+						}
+						return true // len/cap/make args don't escape
+					}
+				}
+				for _, a := range n.Args {
+					markEscaped(pkg, fnKey, a)
+				}
+			case *ast.SendStmt:
+				mark(act.sent, pkg, fnKey, n.Chan)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					mark(act.recvd, pkg, fnKey, n.X)
+				}
+			case *ast.RangeStmt:
+				if isChanExpr(pkg, n.X) {
+					mark(act.recvd, pkg, fnKey, n.X)
+				}
+			case *ast.AssignStmt:
+				handleAssign(pkg, fnKey, n)
+			case *ast.CompositeLit:
+				handleComposite(pkg, fnKey, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					markEscaped(pkg, fnKey, r)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fnKey := ""
+					if tfn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						fnKey = concFuncKey(tfn)
+					}
+					scan(pkg, fnKey, d.Body)
+				case *ast.GenDecl:
+					for _, sp := range d.Specs {
+						vs, ok := sp.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, name := range vs.Names {
+							if i >= len(vs.Values) {
+								continue
+							}
+							if isMake, buf := makeChan(pkg, vs.Values[i]); isMake && buf {
+								mark(act.buffered, pkg, pkg.Path, name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return act
+}
+
+// isChanType reports whether e denotes a channel type (for make's first
+// argument).
+func isChanType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"go/ast"
+	"go/token"
 	"strconv"
 	"strings"
 )
@@ -26,6 +28,11 @@ const ignorePrefix = "mwslint:ignore"
 // annotations. Malformed directives — no analyzer, no reason, or an
 // analyzer name the suite doesn't know — are reported as diagnostics of
 // the pseudo-analyzer "mwslint" so a suppression can never silently rot.
+//
+// A directive covers its own line, the next line, and — when the next
+// line starts a simple statement or declaration that spans several
+// lines — every line of that statement, so annotating above a wrapped
+// call suppresses diagnostics anchored to its inner lines.
 func collectDirectives(prog *Program, analyzers []*Analyzer) (map[directiveKey]directive, []Diagnostic) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -35,6 +42,7 @@ func collectDirectives(prog *Program, analyzers []*Analyzer) (map[directiveKey]d
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
+			extents := stmtExtents(prog.Fset, f)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					text := strings.TrimPrefix(c.Text, "//")
@@ -64,7 +72,12 @@ func collectDirectives(prog *Program, analyzers []*Analyzer) (map[directiveKey]d
 						})
 					default:
 						d := directive{file: pos.Filename, line: pos.Line, analyzer: name, reason: reason}
-						out[directiveKey{d.file, d.line, d.analyzer}] = d
+						for line := pos.Line; line <= coveredThrough(extents, pos.Line); line++ {
+							k := directiveKey{d.file, line, d.analyzer}
+							if _, exists := out[k]; !exists {
+								out[k] = d
+							}
+						}
 					}
 				}
 			}
@@ -73,21 +86,64 @@ func collectDirectives(prog *Program, analyzers []*Analyzer) (map[directiveKey]d
 	return out, diags
 }
 
-// suppress drops diagnostics covered by a directive on the same line or
-// the line immediately above.
-func suppress(diags []Diagnostic, directives map[directiveKey]directive) []Diagnostic {
+// stmtExtent is the line span of one simple statement or declaration.
+type stmtExtent struct {
+	start, end int
+}
+
+// stmtExtents indexes the line spans of the statements a directive can
+// attach to: the simple statement kinds that carry diagnostics plus
+// top-level declarations. Control-flow statements (if/for/switch) are
+// deliberately absent — a directive above one must not blanket its whole
+// body.
+func stmtExtents(fset *token.FileSet, f *ast.File) []stmtExtent {
+	var out []stmtExtent
+	add := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > start {
+			out = append(out, stmtExtent{start: start, end: end})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.DeclStmt, *ast.IncDecStmt,
+			*ast.GenDecl:
+			add(n)
+		}
+		return true
+	})
+	return out
+}
+
+// coveredThrough returns the last line a directive at dirLine covers: at
+// least the next line, extended to the end of any indexed statement that
+// starts on the directive's line or the one after it.
+func coveredThrough(extents []stmtExtent, dirLine int) int {
+	last := dirLine + 1
+	for _, e := range extents {
+		if (e.start == dirLine || e.start == dirLine+1) && e.end > last {
+			last = e.end
+		}
+	}
+	return last
+}
+
+// suppress splits diagnostics into kept and suppressed according to the
+// directive line coverage, attaching each suppression's justification.
+func suppress(diags []Diagnostic, directives map[directiveKey]directive) ([]Diagnostic, []Suppression) {
 	if len(directives) == 0 {
-		return diags
+		return diags, nil
 	}
 	kept := diags[:0]
+	var suppressed []Suppression
 	for _, d := range diags {
-		if _, ok := directives[directiveKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
-			continue
-		}
-		if _, ok := directives[directiveKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]; ok {
+		if dir, ok := directives[directiveKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			suppressed = append(suppressed, Suppression{Analyzer: d.Analyzer, Pos: d.Pos, Reason: dir.reason})
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
+	return kept, suppressed
 }

@@ -25,6 +25,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Diagnostic is one finding from one analyzer.
@@ -110,18 +111,54 @@ func DefaultAnalyzers() []*Analyzer {
 		NonceReuse,
 		KeyZero,
 		VarTime,
+		LockOrder,
+		LockHeld,
+		AtomicMix,
+		GoLeak,
 	}
+}
+
+// Suppression records one diagnostic that a //mwslint:ignore directive
+// swallowed, so CI can track suppression creep against a baseline.
+type Suppression struct {
+	Analyzer string
+	Pos      token.Position
+	Reason   string
+}
+
+// AnalyzerTiming is the wall-clock cost of one analyzer over the whole
+// program (per-package analyzers are summed across packages).
+type AnalyzerTiming struct {
+	Analyzer string
+	Duration time.Duration
+}
+
+// Report is the full outcome of a run: surviving diagnostics, the
+// suppressed ones with their justifications, and per-analyzer timings.
+type Report struct {
+	Diags      []Diagnostic
+	Suppressed []Suppression
+	Timings    []AnalyzerTiming
 }
 
 // Run loads the packages matching patterns (relative to dir) and runs the
 // analyzers over them, returning the surviving diagnostics sorted by
 // position. See RunProgram for the suppression semantics.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	rep, err := RunReport(dir, patterns, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Diags, nil
+}
+
+// RunReport is Run with the full Report.
+func RunReport(dir string, patterns []string, analyzers []*Analyzer) (*Report, error) {
 	prog, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	return RunProgram(prog, analyzers), nil
+	return RunProgramReport(prog, analyzers), nil
 }
 
 // RunProgram runs the analyzers over an already-loaded program. Findings
@@ -129,41 +166,66 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 // directives (missing reason, unknown analyzer) surface as diagnostics of
 // the pseudo-analyzer "mwslint".
 func RunProgram(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	return RunProgramReport(prog, analyzers).Diags
+}
+
+// RunProgramReport is RunProgram plus the suppression and timing record.
+func RunProgramReport(prog *Program, analyzers []*Analyzer) *Report {
 	var diags []Diagnostic
 	report := func(d Diagnostic) { diags = append(diags, d) }
 
-	for _, pkg := range prog.Packages {
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
-			}
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		start := time.Now()
+		for _, pkg := range prog.Packages {
 			a.Run(&Pass{Analyzer: a, Fset: prog.Fset, Pkg: pkg, report: report})
 		}
+		elapsed[a.Name] += time.Since(start)
 	}
 	for _, a := range analyzers {
 		if a.RunProgram == nil {
 			continue
 		}
+		start := time.Now()
 		a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, report: report})
+		elapsed[a.Name] += time.Since(start)
 	}
 
 	directives, directiveDiags := collectDirectives(prog, analyzers)
-	diags = append(suppress(diags, directives), directiveDiags...)
+	kept, suppressed := suppress(diags, directives)
+	diags = append(kept, directiveDiags...)
 
+	byPos := func(af, bf string, al, bl, ac, bc int, aa, ba string) bool {
+		if af != bf {
+			return af < bf
+		}
+		if al != bl {
+			return al < bl
+		}
+		if ac != bc {
+			return ac < bc
+		}
+		return aa < ba
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
+		return byPos(a.Pos.Filename, b.Pos.Filename, a.Pos.Line, b.Pos.Line, a.Pos.Column, b.Pos.Column, a.Analyzer, b.Analyzer)
 	})
-	return diags
+	sort.Slice(suppressed, func(i, j int) bool {
+		a, b := suppressed[i], suppressed[j]
+		return byPos(a.Pos.Filename, b.Pos.Filename, a.Pos.Line, b.Pos.Line, a.Pos.Column, b.Pos.Column, a.Analyzer, b.Analyzer)
+	})
+
+	rep := &Report{Diags: diags, Suppressed: suppressed}
+	for _, a := range analyzers {
+		if d, ok := elapsed[a.Name]; ok {
+			rep.Timings = append(rep.Timings, AnalyzerTiming{Analyzer: a.Name, Duration: d})
+		}
+	}
+	return rep
 }
 
 // pathEndsIn reports whether an import path's final segment is one of

@@ -1,0 +1,41 @@
+// Package counter mixes sync/atomic and plain access to the same
+// objects — the torn-read/lost-update race atomicmix exists to catch.
+package counter
+
+import "sync/atomic"
+
+// Hits is a shared counter; N is exported so the sibling package can
+// reach it.
+type Hits struct {
+	N uint64
+	m uint64
+}
+
+// total is a package-level counter.
+var total uint64
+
+// Inc is the atomic side.
+func (h *Hits) Inc() {
+	atomic.AddUint64(&h.N, 1)
+	atomic.AddUint64(&total, 1)
+}
+
+// Read is the plain side: a torn read racing Inc.
+func (h *Hits) Read() uint64 {
+	return h.N // want "plain access"
+}
+
+// Reset writes plainly over the atomic counter.
+func (h *Hits) Reset() {
+	h.N = 0 // want "plain access"
+}
+
+// Total reads the package-level counter plainly.
+func Total() uint64 {
+	return total // want "plain access"
+}
+
+// Bump touches only m, which no atomic site uses: no diagnostic.
+func (h *Hits) Bump() {
+	h.m++
+}

@@ -1,0 +1,10 @@
+// Package reader reads counter.Hits.N plainly from another package:
+// the abstract object identity must carry across the boundary.
+package reader
+
+import "mwskit/internal/lint/testdata/src/atomicmix/counter"
+
+// Peek races counter.Inc from outside the declaring package.
+func Peek(h *counter.Hits) uint64 {
+	return h.N // want "plain access"
+}

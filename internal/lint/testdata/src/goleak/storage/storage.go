@@ -1,0 +1,79 @@
+// Package storage is the goleak fixture, shaped like the provider's
+// group-commit machinery: background loops whose only way out is a quit
+// channel that may or may not exist.
+package storage
+
+import "context"
+
+// Flusher owns channels nothing ever closes or sends to.
+type Flusher struct {
+	quit chan struct{}
+	work chan int
+	done chan struct{}
+}
+
+// StartLeaky launches a flush loop whose only exit waits on f.quit; no
+// close(f.quit) or send exists anywhere, so the goroutine leaks.
+func (f *Flusher) StartLeaky() {
+	go func() {
+		for {
+			select {
+			case <-f.quit: // want "never closed or sent"
+				return
+			case v := <-f.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// WaitForever blocks on a straight-line receive from a dead channel.
+func (f *Flusher) WaitForever() {
+	go func() {
+		<-f.done // want "never closed or sent"
+	}()
+}
+
+// SpinForever has no exit at all.
+func SpinForever(fn func()) {
+	go func() {
+		for { // want "can never exit"
+			fn()
+		}
+	}()
+}
+
+// Stopper closes done, so its loop has a provable exit: no diagnostic.
+type Stopper struct {
+	done chan struct{}
+}
+
+// StartStoppable launches the loop through a named method.
+func (s *Stopper) StartStoppable() {
+	go s.loop()
+}
+
+func (s *Stopper) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Stop releases the loop.
+func (s *Stopper) Stop() {
+	close(s.done)
+}
+
+// RunBounded launches a goroutine with a finite body guarded by
+// ctx.Done: no diagnostic.
+func RunBounded(ctx context.Context, out chan<- int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}

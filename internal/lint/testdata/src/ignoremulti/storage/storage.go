@@ -1,0 +1,50 @@
+// Package storage is the regression fixture for statement-extent
+// suppression: a directive above a multi-line statement must cover
+// diagnostics anchored to the statement's inner lines — and must not
+// stretch across a blank line to a detached statement.
+package storage
+
+import (
+	"os"
+	"sync"
+)
+
+// Journal is a mutex-guarded file.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// SyncTwo fsyncs under the lock inside a statement wrapped across
+// lines; the diagnostic lands on the inner line, below the directive.
+func (j *Journal) SyncTwo() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//mwslint:ignore lockheld fixture: this journal couples fsync to its lock by design
+	return firstErr(
+		j.f.Sync(),
+		nil,
+	)
+}
+
+// SyncApart repeats the shape with a blank line between the directive
+// and the statement: the suppression must not apply.
+func (j *Journal) SyncApart() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//mwslint:ignore lockheld fixture: a detached directive must not suppress
+
+	return firstErr(
+		j.f.Sync(), // want "os\\.\\(\\*File\\)\\.Sync"
+		nil,
+	)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

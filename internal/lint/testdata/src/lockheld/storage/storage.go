@@ -1,0 +1,72 @@
+// Package storage is the lockheld fixture, shaped like a provider
+// shard: a mutex guarding a WAL file handle and an ack channel.
+package storage
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// Store pairs locks with the blocking resources they guard.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	f    *os.File
+	acks chan int
+}
+
+// SyncUnderLock fsyncs while holding the shard mutex.
+func (s *Store) SyncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "os\\.\\(\\*File\\)\\.Sync"
+}
+
+// SendUnderLock performs a channel send while holding the mutex.
+func (s *Store) SendUnderLock(v int) {
+	s.mu.Lock()
+	s.acks <- v // want "channel send"
+	s.mu.Unlock()
+}
+
+// SleepUnderRead sleeps while read-holding the RWMutex: readers block
+// writers too.
+func (s *Store) SleepUnderRead() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time\\.Sleep"
+	s.rw.RUnlock()
+}
+
+// flush fsyncs; locking is the caller's business.
+func (s *Store) flush() error {
+	return s.f.Sync()
+}
+
+// FlushUnderLock blocks interprocedurally: the fsync hides inside flush.
+func (s *Store) FlushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want "call to flush"
+}
+
+// SyncOutsideLock releases before syncing: the sanctioned shape, no
+// diagnostic.
+func (s *Store) SyncOutsideLock() error {
+	s.mu.Lock()
+	n := cap(s.acks)
+	s.mu.Unlock()
+	_ = n
+	return s.f.Sync()
+}
+
+// TrySendUnderLock uses a select with a default arm: non-blocking, no
+// diagnostic.
+func (s *Store) TrySendUnderLock(v int) {
+	s.mu.Lock()
+	select {
+	case s.acks <- v:
+	default:
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package alpha locks A before B (the B side arriving through a callee
+// in another package); package beta does the reverse, closing the cycle.
+package alpha
+
+import "mwskit/internal/lint/testdata/src/lockorder/locks"
+
+// ABOrder acquires A, then B via locks.GrabB.
+func ABOrder(p *locks.Pair) {
+	p.A.Lock()
+	defer p.A.Unlock()
+	locks.GrabB(p) // want "lock-ordering cycle"
+	locks.ReleaseB(p)
+}
+
+// Reacquire takes A twice without releasing: a self-deadlock.
+func Reacquire(p *locks.Pair) {
+	p.A.Lock()
+	p.A.Lock() // want "already held"
+	p.A.Unlock()
+	p.A.Unlock()
+}
+
+// Sequential acquires A and B without overlap: no ordering edge, no
+// diagnostic.
+func Sequential(p *locks.Pair) {
+	p.A.Lock()
+	p.A.Unlock()
+	p.B.Lock()
+	p.B.Unlock()
+}

@@ -1,0 +1,13 @@
+// Package beta locks B before A — the reverse of package alpha, so both
+// acquisition sites sit on a cycle.
+package beta
+
+import "mwskit/internal/lint/testdata/src/lockorder/locks"
+
+// BAOrder acquires B, then A.
+func BAOrder(p *locks.Pair) {
+	p.B.Lock()
+	defer p.B.Unlock()
+	p.A.Lock() // want "lock-ordering cycle"
+	p.A.Unlock()
+}

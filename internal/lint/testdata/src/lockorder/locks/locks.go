@@ -1,0 +1,23 @@
+// Package locks declares the shared lock pair for the lockorder fixture:
+// the sibling packages alpha and beta acquire A and B in opposite orders,
+// which only the cross-package acquisition graph can see.
+package locks
+
+import "sync"
+
+// Pair carries two independent mutexes.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+// GrabB acquires B and leaves it held for the caller — the
+// interprocedural acquisition callers observe through GrabB's summary.
+func GrabB(p *Pair) {
+	p.B.Lock()
+}
+
+// ReleaseB releases the lock GrabB left held.
+func ReleaseB(p *Pair) {
+	p.B.Unlock()
+}

@@ -27,13 +27,16 @@ type committer struct {
 	onSync   func() // telemetry hook, called once per fsync
 
 	mu       sync.Mutex
+	idle     sync.Cond // signalled when flushing drops to false
 	waiters  []chan error
 	flushing bool
 	closed   bool
 }
 
 func newCommitter(log *wal.Log, interval time.Duration, onSync func()) *committer {
-	return &committer{log: log, interval: interval, onSync: onSync}
+	c := &committer{log: log, interval: interval, onSync: onSync}
+	c.idle.L = &c.mu
+	return c
 }
 
 // wait blocks until the caller's already-written record is covered by an
@@ -70,6 +73,7 @@ func (c *committer) flush() {
 		c.waiters = nil
 		if len(waiters) == 0 {
 			c.flushing = false
+			c.idle.Broadcast()
 			c.mu.Unlock()
 			return
 		}
@@ -84,10 +88,16 @@ func (c *committer) flush() {
 	}
 }
 
-// close marks the committer closed; subsequent waits fail fast. In-flight
-// flushes drain on their own.
+// close marks the committer closed — subsequent waits fail fast — and
+// then blocks until the in-flight flush goroutine (if any) has drained
+// its batch and exited. Waiting matters: the provider closes the WAL
+// right after, and an undrained flush would race its final Sync against
+// that close (and leak the goroutine besides).
 func (c *committer) close() {
 	c.mu.Lock()
 	c.closed = true
+	for c.flushing {
+		c.idle.Wait()
+	}
 	c.mu.Unlock()
 }

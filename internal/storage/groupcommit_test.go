@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mwskit/internal/wal"
+)
+
+// newTestCommitter builds a committer over a throwaway WAL.
+func newTestCommitter(t *testing.T, interval time.Duration) *committer {
+	t.Helper()
+	log, err := wal.Open(wal.Options{Dir: t.TempDir(), Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { log.Close() })
+	return newCommitter(log, interval, nil)
+}
+
+// waitForGoroutines polls until the goroutine count falls back to the
+// baseline; the flush goroutine unlocks c.mu a hair before it returns,
+// so an instantaneous count after close() can still see it.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutine count stuck at %d, want <= %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestCommitterCloseDrainsInflightFlush closes the committer while a
+// flush round is parked in its batching sleep: close must block until
+// that round drains its waiter and the flush goroutine exits, so the
+// provider can close the WAL without racing the final Sync.
+func TestCommitterCloseDrainsInflightFlush(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c := newTestCommitter(t, 20*time.Millisecond)
+
+	ack := make(chan error, 1)
+	go func() { ack <- c.wait() }()
+
+	// Let the waiter register and the flush goroutine enter its sleep.
+	for {
+		c.mu.Lock()
+		started := c.flushing
+		c.mu.Unlock()
+		if started {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.close()
+
+	// close returned, so the round must have completed: the waiter's ack
+	// is already buffered and the flush goroutine is gone.
+	select {
+	case err := <-ack:
+		if err != nil {
+			t.Fatalf("drained waiter got error: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not released by the time close() returned")
+	}
+	c.mu.Lock()
+	if c.flushing {
+		t.Error("flushing still set after close()")
+	}
+	c.mu.Unlock()
+	waitForGoroutines(t, baseline)
+
+	if err := c.wait(); err != wal.ErrClosed {
+		t.Errorf("wait after close = %v, want wal.ErrClosed", err)
+	}
+}
+
+// TestCommitterCloseIdle exercises close with no flush in flight and
+// concurrent waiters beforehand: every waiter is acked, and no goroutine
+// outlives the committer.
+func TestCommitterCloseIdle(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	c := newTestCommitter(t, 0)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.wait()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+
+	c.close()
+	waitForGoroutines(t, baseline)
+}

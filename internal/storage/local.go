@@ -79,6 +79,7 @@ func (p *localProvider) KV(name string) (KV, error) {
 	if kv, ok := p.kvs[name]; ok {
 		return kv, nil
 	}
+	//mwslint:ignore lockheld first open of a named kv must be exclusive so two callers cannot double-open one WAL; runs once per name
 	kv, err := store.OpenKV(filepath.Join(p.dir, name), p.sync)
 	if err != nil {
 		return nil, fmt.Errorf("storage: local kv %q: %w", name, err)
@@ -114,14 +115,22 @@ func (p *localProvider) ShardOf(attr.Attribute) int { return 0 }
 func (p *localProvider) ShardStats() []ShardStat { return []ShardStat{p.stats.sample()} }
 
 func (p *localProvider) Close() error {
+	// Snapshot the handles under the lock, then close outside it:
+	// store.Close fsyncs, and holding p.mu across that would stall any
+	// concurrent KV() open for the duration of a disk flush.
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	err := p.ms.Close()
+	kvs := make([]*store.KV, 0, len(p.kvs))
 	for _, kv := range p.kvs {
+		kvs = append(kvs, kv)
+	}
+	p.kvs = make(map[string]*store.KV)
+	p.mu.Unlock()
+
+	err := p.ms.Close()
+	for _, kv := range kvs {
 		if cerr := kv.Close(); err == nil {
 			err = cerr
 		}
 	}
-	p.kvs = make(map[string]*store.KV)
 	return err
 }

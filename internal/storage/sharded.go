@@ -188,6 +188,7 @@ func (p *shardedProvider) Append(ctx context.Context, m *Message) (uint64, error
 	frame := encodeShardRecord(seq, &cp)
 	obsv.AddStoreWriteBytes(len(frame))
 	_, sp := obsv.StartSpan(ctx, "wal.append")
+	//mwslint:ignore lockheld the frame must enter the WAL under sh.mu so log order matches sequence order; the group committer fsyncs outside this lock
 	_, err := sh.log.Append(frame)
 	sp.SetErr(err)
 	sp.End()
@@ -348,12 +349,19 @@ func (p *shardedProvider) Close() error {
 		}
 		errs = append(errs, sh.log.Close())
 	}
+	// Snapshot the KV handles under the lock, then close outside it:
+	// each close fsyncs every partition, and holding p.mu across that
+	// would stall a concurrent KV() open for the duration of the flush.
 	p.mu.Lock()
+	kvs := make([]*shardedKV, 0, len(p.kvs))
 	for _, kv := range p.kvs {
-		errs = append(errs, kv.close())
+		kvs = append(kvs, kv)
 	}
 	p.kvs = make(map[string]*shardedKV)
 	p.mu.Unlock()
+	for _, kv := range kvs {
+		errs = append(errs, kv.close())
+	}
 	return errors.Join(errs...)
 }
 

@@ -177,6 +177,7 @@ func (ms *MessageStore) PutContext(ctx context.Context, m *Message) (uint64, err
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	_, sp := obsv.StartSpan(ctx, "wal.append")
+	//mwslint:ignore lockheld the append must run under ms.mu so WAL order matches sequence assignment and index order
 	seq, err := ms.log.Append(payload)
 	sp.SetErr(err)
 	sp.End()

@@ -15,12 +15,15 @@ fi
 go vet ./...
 go build ./...
 
-# mwslint: the project's confidentiality-invariant analyzers (see
-# DESIGN.md "Static analysis"). Any unsuppressed finding fails the build.
-# The run is timed because the taint analyzers iterate whole-program
-# fixpoints: soft budget 30s, warn (don't fail) when exceeded.
+# mwslint: the project's confidentiality- and concurrency-invariant
+# analyzers (see DESIGN.md "Static analysis"). Any unsuppressed finding
+# fails the build, and so does a suppression count above the checked-in
+# baseline — silencing a finding is a reviewed change, not a drive-by.
+# The run is timed because the taint and lock analyzers iterate
+# whole-program fixpoints: soft budget 30s, warn (don't fail) when
+# exceeded; -timings breaks the wall time down per analyzer.
 mwslint_start=$(date +%s)
-go run ./cmd/mwslint ./...
+go run ./cmd/mwslint -timings -baseline scripts/lint_baseline.json ./...
 mwslint_elapsed=$(( $(date +%s) - mwslint_start ))
 echo "mwslint: ${mwslint_elapsed}s (soft budget 30s)"
 if [ "$mwslint_elapsed" -gt 30 ]; then
@@ -31,12 +34,12 @@ go test -race ./...
 
 # Opt-in hot-path benchmark: MWSBENCH=1 runs the end-to-end load
 # generator (phase 0 offline microbenchmarks included) and writes
-# BENCH_PR7.json — now with the mixed-phase storage backend comparison
+# BENCH_PR8.json — now with the mixed-phase storage backend comparison
 # (local vs sharded under SyncAlways: deposit throughput, latency
 # percentiles, fsyncs per acked deposit). Off by default — it adds
 # minutes on the bf80 preset.
 if [ "${MWSBENCH:-0}" = "1" ]; then
 	go run ./cmd/mwsbench -preset "${MWSBENCH_PRESET:-test}" -meters 10 \
 		-messages 120 -nonce-epoch 64 -compare-storage \
-		-json BENCH_PR7.json
+		-json BENCH_PR8.json
 fi
