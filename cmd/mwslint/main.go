@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	mwslint [-C dir] [-json] [-timings] [-baseline file] [packages]
+//	mwslint [-C dir] [-json] [-sarif file] [-only names] [-skip names]
+//	        [-timings] [-baseline file] [packages]
 //
 // Packages default to ./... relative to dir. Exit status is 1 when any
 // analyzer reports an unsuppressed diagnostic (or the suppression
@@ -18,12 +19,23 @@
 // diagnostic is emitted as one JSON object per line
 // (file/line/col/analyzer/message), followed by a single trailing
 // summary object ("summary":true) carrying the suppressed findings
-// (analyzer, position, reason) and per-analyzer timings; exit codes are
-// unchanged. -timings prints per-analyzer wall times to stderr.
-// -baseline reads {"suppressions": N} and fails the run when the tree
-// carries more suppressions than the checked-in budget, so silencing a
-// finding is a reviewed change, not a drive-by. Suppress a finding with
-// an annotated, justified ignore:
+// (analyzer, position, reason), the declassification points, and
+// per-analyzer timings; exit codes are unchanged. -sarif additionally
+// writes the full report (findings, suppressions with in-source
+// justifications, declassifications) as a SARIF 2.1.0 log for
+// code-scanning upload. -only and -skip take comma-separated analyzer
+// names (mutually exclusive; unknown names are an error, a typo must
+// not silently run the wrong set). -timings prints per-analyzer wall
+// times to stderr. -baseline reads
+//
+//	{"suppressions": N, "analyzers": {"<name>": N, ...}}
+//
+// and fails the run when the tree carries more suppressions than the
+// checked-in budget — in total, or for any single analyzer when the
+// per-analyzer map is present (an analyzer absent from the map has
+// budget zero) — so silencing a finding is a reviewed change, not a
+// drive-by, and the constant-time debt ctflow tracks can only shrink.
+// Suppress a finding with an annotated, justified ignore:
 //
 //	//mwslint:ignore <analyzer> <reason>
 package main
@@ -33,12 +45,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"mwskit/internal/lint"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// splitNames parses a comma-separated flag value into names, dropping
+// empty segments ("" parses to nil, so an unset flag selects nothing).
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // jsonDiagnostic is the -json wire shape, one object per line.
@@ -65,18 +95,31 @@ type jsonTiming struct {
 	Millis   float64 `json:"ms"`
 }
 
+// jsonDeclassification is one //mwslint:declassify point in the -json
+// summary.
+type jsonDeclassification struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Reason string `json:"reason"`
+}
+
 // jsonSummary is the single trailing -json object; "summary":true
 // distinguishes it from diagnostic lines.
 type jsonSummary struct {
-	Summary    bool              `json:"summary"`
-	Findings   int               `json:"findings"`
-	Suppressed []jsonSuppression `json:"suppressed"`
-	Timings    []jsonTiming      `json:"timings"`
+	Summary      bool                   `json:"summary"`
+	Findings     int                    `json:"findings"`
+	Suppressed   []jsonSuppression      `json:"suppressed"`
+	Declassified []jsonDeclassification `json:"declassified"`
+	Timings      []jsonTiming           `json:"timings"`
 }
 
-// baselineFile is the checked-in suppression budget.
+// baselineFile is the checked-in suppression budget: a total, plus an
+// optional per-analyzer pin. When Analyzers is present, an analyzer
+// missing from it has budget zero.
 type baselineFile struct {
-	Suppressions int `json:"suppressions"`
+	Suppressions int            `json:"suppressions"`
+	Analyzers    map[string]int `json:"analyzers"`
 }
 
 func run(args []string) int {
@@ -84,8 +127,11 @@ func run(args []string) int {
 	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line plus a trailing summary object")
+	sarifOut := fs.String("sarif", "", "write the full report as a SARIF 2.1.0 log to `file`")
+	only := fs.String("only", "", "run only these `analyzers` (comma-separated; unknown names are an error)")
+	skip := fs.String("skip", "", "run all but these `analyzers` (comma-separated; unknown names are an error)")
 	timings := fs.Bool("timings", false, "print per-analyzer wall times to stderr")
-	baseline := fs.String("baseline", "", "JSON `file` with {\"suppressions\": N}; fail if the tree exceeds it")
+	baseline := fs.String("baseline", "", "JSON `file` with {\"suppressions\": N, \"analyzers\": {...}}; fail if the tree exceeds it")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +141,11 @@ func run(args []string) int {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	analyzers, err := lint.SelectAnalyzers(analyzers, splitNames(*only), splitNames(*skip))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mwslint:", err)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -122,10 +173,11 @@ func run(args []string) int {
 	}
 	if *jsonOut {
 		sum := jsonSummary{
-			Summary:    true,
-			Findings:   len(rep.Diags),
-			Suppressed: make([]jsonSuppression, 0, len(rep.Suppressed)),
-			Timings:    make([]jsonTiming, 0, len(rep.Timings)),
+			Summary:      true,
+			Findings:     len(rep.Diags),
+			Suppressed:   make([]jsonSuppression, 0, len(rep.Suppressed)),
+			Declassified: make([]jsonDeclassification, 0, len(rep.Declassified)),
+			Timings:      make([]jsonTiming, 0, len(rep.Timings)),
 		}
 		for _, s := range rep.Suppressed {
 			sum.Suppressed = append(sum.Suppressed, jsonSuppression{
@@ -134,6 +186,14 @@ func run(args []string) int {
 				Col:      s.Pos.Column,
 				Analyzer: s.Analyzer,
 				Reason:   s.Reason,
+			})
+		}
+		for _, dc := range rep.Declassified {
+			sum.Declassified = append(sum.Declassified, jsonDeclassification{
+				File:   dc.Pos.Filename,
+				Line:   dc.Pos.Line,
+				Col:    dc.Pos.Column,
+				Reason: dc.Reason,
 			})
 		}
 		for _, tm := range rep.Timings {
@@ -147,6 +207,25 @@ func run(args []string) int {
 	if *timings {
 		for _, tm := range rep.Timings {
 			fmt.Fprintf(os.Stderr, "mwslint: %-14s %8.1fms\n", tm.Analyzer, float64(tm.Duration.Microseconds())/1000)
+		}
+	}
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mwslint: sarif:", err)
+			return 2
+		}
+		base, berr := filepath.Abs(*dir)
+		if berr != nil {
+			base = *dir
+		}
+		werr := lint.WriteSARIF(f, rep, analyzers, base)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mwslint: sarif:", werr)
+			return 2
 		}
 	}
 	code := 0
@@ -165,6 +244,24 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "mwslint: %d suppression(s) exceed the baseline budget of %d (%s); new ignores need a baseline bump in the same change\n",
 				n, b.Suppressions, *baseline)
 			code = 1
+		}
+		if b.Analyzers != nil {
+			perAnalyzer := make(map[string]int)
+			for _, s := range rep.Suppressed {
+				perAnalyzer[s.Analyzer]++
+			}
+			names := make([]string, 0, len(perAnalyzer))
+			for name := range perAnalyzer {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if n := perAnalyzer[name]; n > b.Analyzers[name] {
+					fmt.Fprintf(os.Stderr, "mwslint: %s: %d suppression(s) exceed its baseline pin of %d (%s); the debt an analyzer tracks can only shrink without a reviewed baseline bump\n",
+						name, n, b.Analyzers[name], *baseline)
+					code = 1
+				}
+			}
 		}
 	}
 	if len(rep.Diags) > 0 {

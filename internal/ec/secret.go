@@ -52,6 +52,8 @@ func (c *Curve) secretDigits() int {
 // zero digits; the fixed (0, 3q] range is what pins the digit count.
 // Valid only for points of order dividing q, for which adding multiples
 // of q to the scalar does not change the product.
+//
+//mwslint:ignore ctflow scalar normalization is math/big-backed; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (c *Curve) normalizeSecretScalar(k *big.Int) *big.Int {
 	kn := new(big.Int).Mod(k, c.Q)
 	return kn.Add(kn, new(big.Int).Lsh(c.Q, kn.Bit(0)))
@@ -63,6 +65,8 @@ func (c *Curve) normalizeSecretScalar(k *big.Int) *big.Int {
 // non-zero), and updates k ← (k − d)/2^w, which is odd again; the loop
 // runs a fixed n−1 iterations and the remainder — always 1 or 3 for a
 // normalized scalar — is the top digit.
+//
+//mwslint:ignore ctflow digit recoding works the scalar with math/big; limb-timing debt tracked by the fixed-limb ROADMAP item
 func recodeSigned(k *big.Int, w uint, n int) []int64 {
 	kk := new(big.Int).Set(k)
 	d := make([]int64, n)
@@ -82,6 +86,8 @@ func recodeSigned(k *big.Int, w uint, n int) []int64 {
 // selectSigned returns d·P for an odd digit d, where tbl[j] = (2j+1)·P.
 // Both sign candidates are computed before an arithmetic index picks one,
 // so the selection itself adds no branch on the digit's sign.
+//
+//mwslint:ignore ctflow the 8-entry table load is digit-indexed; replacing it with a full-table masked scan rides on the fixed-limb ROADMAP item
 func selectSigned(tbl []jacPoint, d int64) jacPoint {
 	m := d >> 63 // all ones iff d < 0
 	abs := (d ^ m) - m
@@ -110,6 +116,8 @@ func (c *Curve) oddMultiples(base jacPoint) []jacPoint {
 // in the order-q subgroup (everywhere a secret scalar arises in this
 // codebase the base point does); for points outside it the result is
 // (k mod q + {q,2q})·p, which is not k·p.
+//
+//mwslint:ignore ctflow the infinity guard branches on the base point, which is public (hashed identities, the generator) even when the scalar is secret
 func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point {
 	obsv.AddScalarMultSecret()
 	if p.Inf {

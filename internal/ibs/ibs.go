@@ -39,6 +39,8 @@ const hashDomain = "mwskit/ibs/h/v1"
 // Sign produces a signature on msg under the identity key sk (which is
 // the same d_ID = s·Q_ID object bfibe extraction yields — one PKG key
 // serves both encryption and signing roles for a device identity).
+//
+//mwslint:ignore ctflow the response r+h·s mod q is math/big arithmetic on the signing key; limb-timing debt tracked by the fixed-limb ROADMAP item
 func Sign(p *bfibe.Params, sk *bfibe.PrivateKey, msg []byte, rng io.Reader) (*Signature, error) {
 	if p == nil || sk == nil {
 		return nil, errors.New("ibs: nil params or key")

@@ -1,0 +1,986 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctflow is the constant-time discipline verifier: a secret-dependence
+// abstract interpreter layered on the taint engine's call-graph
+// summaries. The engine (numericTaint mode: secret bits, digits, and
+// indices are exactly what a timing channel leaks) computes which
+// parameters and results of every function carry key material; this
+// file then re-walks each body flow-sensitively — branch forks with
+// union merges, strong updates on plain assignments, bounded loop
+// iteration — and reports five violation classes:
+//
+//  1. secret-dependent branch conditions (if/switch/select tags),
+//  2. secret-indexed loads and stores (table lookups, slice offsets,
+//     map probes),
+//  3. secret-dependent loop bounds,
+//  4. secret-length allocations (make with a secret size),
+//  5. calls into known variable-time routines with secret operands:
+//     math/big methods (Bit included), the module's math/big-backed ff
+//     field layer, bytes.Equal/Compare-style helpers, string ==/!= on
+//     secrets, and the public variable-time ec.ScalarMult.
+//
+// Sources: bfibe.MasterKey / bfibe.PrivateKey / tpkg.Share by type
+// (every expression of those types is key material, so struct fields
+// reached through untainted receivers are still seen), secret scalars
+// from pairing.System.RandomScalar, session keys from kdf.SessionKey /
+// bfibe.Encapsulate / Decapsulate / ticket.NewSessionKey /
+// macauth.Register/Key, and key-named []byte parameters in the crypto
+// packages.
+//
+// Declassification is explicit, three ways: crypto/* and hash stdlib
+// primitives launder (a digest or AEAD output is public even when the
+// input was secret; crypto/subtle comparison results are the sanctioned
+// way to turn a secret comparison public), symenc Seal/Open and
+// kdf.Mask launder at the module boundary, and //mwslint:declassify
+// <reason> marks a line whose values the analyst asserts are public
+// (mandatory reason, listed in the report).
+//
+// Precision decisions, deliberate:
+//   - The result of a secret-indexed load is clean: the leak is the
+//     access pattern, reported at the load site; propagating through the
+//     loaded value would light up every consumer of a table-driven
+//     constant-time routine (Joye–Tunstall selection) without naming a
+//     new leak. A load *from* a secret-valued slice at a public index
+//     stays secret — contents, not access pattern, flow.
+//   - Variable-time callees propagate taint (report-and-flow, not
+//     report-and-cut): big.Int.Set on the master key is both a finding
+//     and still the master key.
+//   - Bodies in internal/ff are not re-reported; the package is
+//     wholesale math/big-backed and the debt is accounted at every call
+//     site into it, which is what the fixed-limb ROADMAP item replaces.
+//   - Lengths are public (len/cap return clean), nil checks are public,
+//     and only explicit flows are tracked — a branch on a secret does
+//     not taint values assigned under it (no implicit-flow tracking).
+var CTFlow = &Analyzer{
+	Name: "ctflow",
+	Doc: "secret-dependent branches, table indices, loop bounds, allocations, " +
+		"and variable-time calls on key material (constant-time discipline)",
+	RunProgram: runCTFlow,
+}
+
+// ctflow's source labels.
+const (
+	ctMasterKey  = iota // IBE master secret (bfibe.MasterKey)
+	ctPrivateKey        // extracted identity private key (bfibe.PrivateKey)
+	ctScalar            // secret scalar or threshold share
+	ctSymKey            // symmetric session/MAC key bytes
+)
+
+// ctflow violation classes, for report deduplication across loop
+// iterations and branch re-walks.
+const (
+	ctClassBranch = iota
+	ctClassLoop
+	ctClassIndex
+	ctClassAlloc
+	ctClassVartime
+	ctClassCompare
+)
+
+// ctCryptoPkgs are the package tails whose key-named []byte parameters
+// are seeded as key material. Storage and wire packages are excluded on
+// purpose: a KV lookup key is not a cryptographic key.
+var ctCryptoPkgs = []string{
+	"symenc", "kdf", "macauth", "ticket", "bfibe", "peks", "ibs",
+	"tpkg", "keyserver", "userdb", "ec", "pairing",
+}
+
+// ctCorePkgs are the pure-math packages whose structs are small
+// key-bearing values — cipher state, Jacobian points, extension-field
+// elements — where a tainted struct really does mean every field is
+// secret. Everywhere else structs are wiring that happens to hold a key
+// in one field (a bfibe.Params caching extracted keys, a service config,
+// a Device), and ctFieldRead cuts the container's taint at the field
+// boundary; the key-bearing fields themselves are re-labeled by type
+// (MasterKey, PrivateKey, Share) or name (ticket SessionKey).
+var ctCorePkgs = []string{
+	"symenc", "ec", "pairing", "ff",
+}
+
+// ctFieldRead scopes struct-field reads: inside the core math packages a
+// field inherits its container's taint (object granularity is right
+// there); outside them it inherits only when the container's static type
+// is itself key material (m.s on a MasterKey is the master scalar), so a
+// service struct wired with a key does not turn every config-field
+// branch into a finding. Type- and name-carried fields (MasterKey,
+// PrivateKey, Share, ticket SessionKey) are re-labeled by ctSourceExpr
+// regardless.
+func ctFieldRead(pkg *Package, info *types.Info, sel *ast.SelectorExpr, containerTaint labels) labels {
+	if pathEndsIn(pkg.Path, ctCorePkgs...) {
+		return containerTaint
+	}
+	if tvx, ok := info.Types[sel.X]; ok && tvx.Type != nil {
+		// Key-typed containers pass their taint to exactly their
+		// secret-bearing fields; the sibling fields (a share's index, a
+		// private key's identity) are public.
+		switch name := sel.Sel.Name; {
+		case typeIsNamed(tvx.Type, "bfibe", "MasterKey") && name == "s",
+			typeIsNamed(tvx.Type, "bfibe", "PrivateKey") && name == "D",
+			typeIsNamed(tvx.Type, "tpkg", "Share") && name == "Scalar":
+			return containerTaint
+		}
+	}
+	return 0
+}
+
+func ctSpec() *taintSpec {
+	return &taintSpec{
+		name: "ctflow",
+		labelDesc: []string{
+			"IBE master-key material",
+			"an extracted identity private key",
+			"a secret scalar",
+			"symmetric key material",
+		},
+		numericTaint:    true,
+		declassify:      true,
+		crossPkg:        true,
+		callSiteSources: true,
+		seedParam:       ctSeedParam,
+		sourceExpr:      ctSourceExpr,
+		sourceCall:      ctSourceCall,
+		sanitizes:       ctSanitizes,
+		passthrough:     ctPassthrough,
+		fieldRead:       ctFieldRead,
+	}
+}
+
+// ctSeedParam seeds key-named []byte parameters in the crypto packages.
+// Type-carried key material (MasterKey, PrivateKey, Share) is handled by
+// ctSourceExpr so it is seen through struct fields too.
+func ctSeedParam(fn *types.Func, v *types.Var) labels {
+	if !calleePkgEndsIn(fn, ctCryptoPkgs...) {
+		return 0
+	}
+	if !isByteSlice(v.Type()) {
+		return 0
+	}
+	name := v.Name()
+	if name == "key" || name == "secret" ||
+		(strings.HasSuffix(name, "Key") && !strings.Contains(strings.ToLower(name), "pub")) {
+		return srcLabel(ctSymKey)
+	}
+	return 0
+}
+
+// ctSourceExpr labels expressions whose static type is key material, and
+// the SessionKey field of ticket structs (a []byte field has no named
+// type to match on).
+func ctSourceExpr(info *types.Info, e ast.Expr) labels {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	switch {
+	case typeIsNamed(tv.Type, "bfibe", "MasterKey"):
+		return srcLabel(ctMasterKey)
+	case typeIsNamed(tv.Type, "bfibe", "PrivateKey"):
+		return srcLabel(ctPrivateKey)
+	case typeIsNamed(tv.Type, "tpkg", "Share"):
+		return srcLabel(ctScalar)
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "SessionKey" {
+		if tvx, ok := info.Types[sel.X]; ok && tvx.Type != nil &&
+			(typeIsNamed(tvx.Type, "ticket", "Ticket") || typeIsNamed(tvx.Type, "ticket", "Token")) {
+			return srcLabel(ctSymKey)
+		}
+	}
+	return 0
+}
+
+// ctByteResults labels every []byte result of fn's signature.
+func ctByteResults(fn *types.Func, lab labels) map[int]labels {
+	sig := calleeSig(fn)
+	if sig == nil {
+		return nil
+	}
+	out := make(map[int]labels)
+	for i := range sig.Results().Len() {
+		if isByteSlice(sig.Results().At(i).Type()) {
+			out[i] = lab
+		}
+	}
+	return out
+}
+
+func ctSourceCall(fn *types.Func) map[int]labels {
+	name := fn.Name()
+	switch {
+	case name == "RandomScalar" && calleePkgEndsIn(fn, "pairing", "ec"):
+		return map[int]labels{0: srcLabel(ctScalar)}
+	case name == "SessionKey" && calleePkgEndsIn(fn, "kdf"):
+		return map[int]labels{0: srcLabel(ctSymKey)}
+	case (name == "Encapsulate" || name == "Decapsulate") && calleePkgEndsIn(fn, "bfibe"):
+		return ctByteResults(fn, srcLabel(ctSymKey))
+	case name == "NewSessionKey" && calleePkgEndsIn(fn, "ticket"):
+		return ctByteResults(fn, srcLabel(ctSymKey))
+	case (name == "Register" || name == "Key") && calleePkgEndsIn(fn, "macauth"):
+		return ctByteResults(fn, srcLabel(ctSymKey))
+	case name == "CredentialKey" && calleePkgEndsIn(fn, "userdb"):
+		return ctByteResults(fn, srcLabel(ctSymKey))
+	}
+	return nil
+}
+
+// ctSanitizes: stdlib crypto and hash primitives launder — a digest,
+// AEAD output, or crypto/subtle comparison result is public even when
+// the input was secret (subtle's int result is the sanctioned way to
+// branch on a secret comparison). At the module boundary, symenc
+// Seal/Open (ciphertext out / message plaintext out — neither is key
+// material) and kdf.Mask (pad-XOR output is ciphertext) launder too.
+func ctSanitizes(fn *types.Func) bool {
+	if pkg := fn.Pkg(); pkg != nil {
+		p := pkg.Path()
+		if p == "crypto" || strings.HasPrefix(p, "crypto/") || p == "hash" || strings.HasPrefix(p, "hash/") {
+			return true
+		}
+	}
+	name := fn.Name()
+	if (name == "Seal" || name == "Open") && calleePkgEndsIn(fn, "symenc") {
+		return true
+	}
+	// Point-multiplication outputs are public commitments: publishing
+	// rP is the protocol (encapsulation points, public keys), and
+	// recovering r from rP is the discrete log. The secret operand's
+	// variable-time use is still reported at the call site (class 5);
+	// the resulting point must not keep the scalar's label or every
+	// consumer of a public key would light up. Key material typed as
+	// PrivateKey/MasterKey/Share is re-tainted by type regardless, so
+	// Extract's d = s·Q_ID stays secret.
+	if calleePkgEndsIn(fn, "ec") {
+		switch name {
+		case "ScalarMult", "ScalarMultSecret", "Mul": // Mul is Comb.Mul, fixed-base
+			return true
+		}
+	}
+	return name == "Mask" && calleePkgEndsIn(fn, "kdf")
+}
+
+// ctPassthrough: kdf.ToScalar and kdf.Stream hash their inputs, but the
+// output is exactly as secret as what went in — a Fujisaki–Okamoto
+// re-encryption scalar derived from a secret σ is secret, while the
+// public IBS challenge derived from public bytes stays clean.
+func ctPassthrough(fn *types.Func) bool {
+	return calleePkgEndsIn(fn, "kdf") && (fn.Name() == "ToScalar" || fn.Name() == "Stream")
+}
+
+// ctVartime classifies callees whose execution time depends on operand
+// values, with a short description for the diagnostic.
+func ctVartime(fn *types.Func) (string, bool) {
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "math/big":
+			return "math/big." + name, true
+		case "bytes":
+			switch name {
+			case "Equal", "Compare", "HasPrefix", "HasSuffix", "Index", "Contains":
+				return "bytes." + name, true
+			}
+		case "strings":
+			switch name {
+			case "Compare", "EqualFold", "Index", "HasPrefix", "HasSuffix", "Contains":
+				return "strings." + name, true
+			}
+		}
+	}
+	if calleePkgEndsIn(fn, "ff") {
+		return "math/big-backed ff." + name, true
+	}
+	if name == "ScalarMult" && calleePkgEndsIn(fn, "ec") {
+		return "ec.ScalarMult", true
+	}
+	return "", false
+}
+
+// runCTFlow builds the interprocedural summaries, then re-checks every
+// function body flow-sensitively.
+func runCTFlow(pass *ProgramPass) {
+	eng := buildTaintEngine(pass.Prog, ctSpec())
+	c := &ctChecker{pass: pass, eng: eng, seen: make(map[ctSeenKey]bool)}
+	for _, fa := range eng.ordered {
+		// internal/ff is wholesale math/big-backed: the debt is accounted
+		// at call sites into it, not re-reported line by line inside.
+		if pathEndsIn(fa.pkg.Path, "ff") {
+			continue
+		}
+		c.checkFunc(fa)
+	}
+}
+
+// ctSeenKey dedupes violations across loop iterations and branch
+// re-walks of the same body.
+type ctSeenKey struct {
+	pos   token.Pos
+	class int
+}
+
+// ctChecker is the flow-sensitive walker for one program.
+type ctChecker struct {
+	pass *ProgramPass
+	eng  *taintEngine
+	seen map[ctSeenKey]bool
+
+	fa   *funcFacts
+	info *types.Info
+}
+
+// ctEnv maps in-scope objects to the labels they currently hold. A
+// missing object is clean. Plain assignments strong-update (kill), so a
+// declassified or overwritten variable really goes clean.
+type ctEnv map[types.Object]labels
+
+func (e ctEnv) clone() ctEnv {
+	out := make(ctEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto unions src into dst (control-flow join).
+func mergeInto(dst, src ctEnv) {
+	for k, v := range src {
+		dst[k] |= v
+	}
+}
+
+// envGrew reports whether next holds any taint base does not.
+func envGrew(base, next ctEnv) bool {
+	for k, v := range next {
+		if v&^base[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ctChecker) checkFunc(fa *funcFacts) {
+	c.fa = fa
+	c.info = fa.pkg.Info
+	env := make(ctEnv)
+	for i, p := range fa.params {
+		if t := fa.paramIn[i]; t != 0 {
+			env[p] = t
+		}
+	}
+	c.stmt(fa.decl.Body, env)
+}
+
+// violation reports one deduplicated finding.
+func (c *ctChecker) violation(pos token.Pos, class int, format string, args ...any) {
+	k := ctSeenKey{pos: pos, class: class}
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *ctChecker) describe(t labels) string { return c.eng.spec.describe(sourceBits(t)) }
+
+// --- statements ---
+
+// stmt interprets one statement, returning the (possibly forked and
+// rejoined) environment after it.
+func (c *ctChecker) stmt(s ast.Stmt, env ctEnv) ctEnv {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			env = c.stmt(st, env)
+		}
+	case *ast.ExprStmt:
+		c.eval(s.X, env)
+	case *ast.AssignStmt:
+		c.assign(s, env)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == 1 && len(vs.Names) > 1 {
+				ts := c.evalMulti(vs.Values[0], len(vs.Names), env)
+				for i, name := range vs.Names {
+					c.set(env, c.info.Defs[name], ts[i])
+				}
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					c.set(env, c.info.Defs[name], c.eval(vs.Values[i], env))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.eval(e, env)
+		}
+	case *ast.IfStmt:
+		env = c.stmt(s.Init, env)
+		if t := c.eval(s.Cond, env); t != 0 {
+			c.violation(s.Cond.Pos(), ctClassBranch,
+				"branch condition depends on %s; constant-time code must not branch on secrets", c.describe(t))
+		}
+		thenEnv := c.stmt(s.Body, env.clone())
+		elseEnv := env
+		if s.Else != nil {
+			elseEnv = c.stmt(s.Else, env.clone())
+		}
+		mergeInto(thenEnv, elseEnv)
+		return thenEnv
+	case *ast.ForStmt:
+		env = c.stmt(s.Init, env)
+		for range 4 {
+			if s.Cond != nil {
+				if t := c.eval(s.Cond, env); t != 0 {
+					c.violation(s.Cond.Pos(), ctClassLoop,
+						"loop bound depends on %s; the iteration count leaks the secret", c.describe(t))
+				}
+			}
+			next := c.stmt(s.Body, env.clone())
+			next = c.stmt(s.Post, next)
+			if !envGrew(env, next) {
+				break
+			}
+			mergeInto(env, next)
+		}
+	case *ast.RangeStmt:
+		t := c.eval(s.X, env)
+		if t != 0 {
+			if tv, ok := c.info.Types[s.X]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					c.violation(s.X.Pos(), ctClassLoop,
+						"loop bound depends on %s; the iteration count leaks the secret", c.describe(t))
+				}
+			}
+		}
+		bind := func(e ast.Expr, t labels) {
+			if e == nil {
+				return
+			}
+			if s.Tok == token.DEFINE {
+				if id, ok := e.(*ast.Ident); ok {
+					c.set(env, c.info.Defs[id], t)
+					return
+				}
+			}
+			c.setLHS(env, e, t)
+		}
+		bind(s.Key, rangeKeyTaint(c.info, s.X, t))
+		bind(s.Value, t)
+		for range 4 {
+			next := c.stmt(s.Body, env.clone())
+			if !envGrew(env, next) {
+				break
+			}
+			mergeInto(env, next)
+		}
+	case *ast.SwitchStmt:
+		env = c.stmt(s.Init, env)
+		if s.Tag != nil {
+			if t := c.eval(s.Tag, env); t != 0 {
+				c.violation(s.Tag.Pos(), ctClassBranch,
+					"branch condition depends on %s; constant-time code must not branch on secrets", c.describe(t))
+			}
+		}
+		out := env.clone()
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			fork := env.clone()
+			for _, e := range clause.List {
+				if t := c.eval(e, fork); t != 0 && s.Tag == nil {
+					c.violation(e.Pos(), ctClassBranch,
+						"branch condition depends on %s; constant-time code must not branch on secrets", c.describe(t))
+				}
+			}
+			for _, st := range clause.Body {
+				fork = c.stmt(st, fork)
+			}
+			mergeInto(out, fork)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		env = c.stmt(s.Init, env)
+		var tagTaint labels
+		var guard ast.Expr
+		switch a := s.Assign.(type) {
+		case *ast.AssignStmt:
+			if len(a.Rhs) == 1 {
+				if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+					guard = ta.X
+				}
+			}
+		case *ast.ExprStmt:
+			if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+				guard = ta.X
+			}
+		}
+		if guard != nil {
+			tagTaint = c.eval(guard, env)
+			if tagTaint != 0 {
+				c.violation(guard.Pos(), ctClassBranch,
+					"branch condition depends on %s; constant-time code must not branch on secrets", c.describe(tagTaint))
+			}
+		}
+		out := env.clone()
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			fork := env.clone()
+			c.set(fork, c.info.Implicits[clause], tagTaint)
+			for _, st := range clause.Body {
+				fork = c.stmt(st, fork)
+			}
+			mergeInto(out, fork)
+		}
+		return out
+	case *ast.SelectStmt:
+		out := env.clone()
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			fork := env.clone()
+			fork = c.stmt(clause.Comm, fork)
+			for _, st := range clause.Body {
+				fork = c.stmt(st, fork)
+			}
+			mergeInto(out, fork)
+		}
+		return out
+	case *ast.SendStmt:
+		t := c.eval(s.Value, env)
+		c.eval(s.Chan, env)
+		c.setLHS(env, s.Chan, t)
+	case *ast.IncDecStmt:
+		c.eval(s.X, env)
+	case *ast.GoStmt:
+		c.eval(s.Call, env)
+	case *ast.DeferStmt:
+		c.eval(s.Call, env)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, env)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+	return env
+}
+
+func (c *ctChecker) assign(s *ast.AssignStmt, env ctEnv) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		ts := c.evalMulti(s.Rhs[0], len(s.Lhs), env)
+		for i, lhs := range s.Lhs {
+			c.assignOne(s.Tok, lhs, ts[i], env)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		c.assignOne(s.Tok, lhs, c.eval(s.Rhs[i], env), env)
+	}
+}
+
+// assignOne writes taint t into one assignment target. Plain `=`/`:=`
+// onto a bare identifier strong-updates (this is where flow sensitivity
+// and declassification kills happen); everything else — op-assigns,
+// field and element stores — unions. A store at a secret index is a
+// class-2 violation.
+func (c *ctChecker) assignOne(tok token.Token, lhs ast.Expr, t labels, env ctEnv) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := c.info.Defs[id]
+		if obj == nil {
+			obj = c.info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if tok == token.ASSIGN || tok == token.DEFINE {
+			env[obj] = t
+			if t == 0 {
+				delete(env, obj)
+			}
+		} else {
+			c.set(env, obj, t)
+		}
+		return
+	}
+	// Non-identifier lvalue: evaluating it runs the index checks (a
+	// secret-indexed store is the same cache leak as a load).
+	c.eval(lhs, env)
+	c.setLHS(env, lhs, t)
+}
+
+func (c *ctChecker) set(env ctEnv, obj types.Object, t labels) {
+	if obj == nil || t == 0 {
+		return
+	}
+	env[obj] |= t
+}
+
+func (c *ctChecker) setLHS(env ctEnv, lhs ast.Expr, t labels) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := ctRootObj(c.info, lhs)
+	c.set(env, root, t)
+}
+
+// ctRootObj mirrors bodyState.rootObj without the engine state.
+func ctRootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Defs[v]; o != nil {
+				return o
+			}
+			return info.Uses[v]
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- expressions ---
+
+// evalMulti evaluates a single expression feeding n targets.
+func (c *ctChecker) evalMulti(e ast.Expr, n int, env ctEnv) []labels {
+	out := make([]labels, n)
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		copy(out, c.evalCall(v, env))
+	case *ast.TypeAssertExpr:
+		out[0] = c.eval(v.X, env)
+	case *ast.IndexExpr:
+		out[0] = c.eval(e, env) // comma-ok map read: index check included
+	case *ast.UnaryExpr: // <-ch
+		out[0] = c.eval(v.X, env)
+	default:
+		out[0] = c.eval(e, env)
+	}
+	return out
+}
+
+// eval interprets one expression under env, reporting violations as it
+// goes, and returns the labels the expression's value carries.
+func (c *ctChecker) eval(e ast.Expr, env ctEnv) labels {
+	if e == nil {
+		return 0
+	}
+	var t labels
+	switch v := e.(type) {
+	case *ast.Ident:
+		if o := c.info.Uses[v]; o != nil {
+			t = env[o]
+		}
+	case *ast.BasicLit:
+	case *ast.ParenExpr:
+		t = c.eval(v.X, env)
+	case *ast.SelectorExpr:
+		if pkgNameOf(c.info, identOf(v.X)) == nil {
+			t = c.eval(v.X, env)
+			if t != 0 {
+				if sel, ok := c.info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+					t = ctFieldRead(c.fa.pkg, c.info, v, t)
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		t = c.eval(v.X, env)
+		if tv, ok := c.info.Types[v.Index]; !ok || !tv.IsType() { // generic instantiation has a type operand
+			if ti := c.eval(v.Index, env); ti != 0 {
+				c.violation(v.Index.Pos(), ctClassIndex,
+					"memory index depends on %s; secret-dependent table lookups leak through the data cache", c.describe(ti))
+				// The loaded value is clean: the access pattern is the leak,
+				// reported here; contents of the (public) table are public.
+			}
+		}
+	case *ast.IndexListExpr:
+		t = c.eval(v.X, env)
+	case *ast.SliceExpr:
+		t = c.eval(v.X, env)
+		for _, b := range []ast.Expr{v.Low, v.High, v.Max} {
+			if b == nil {
+				continue
+			}
+			if ti := c.eval(b, env); ti != 0 {
+				c.violation(b.Pos(), ctClassIndex,
+					"memory index depends on %s; secret-dependent table lookups leak through the data cache", c.describe(ti))
+			}
+		}
+	case *ast.StarExpr:
+		t = c.eval(v.X, env)
+	case *ast.UnaryExpr:
+		t = c.eval(v.X, env)
+	case *ast.BinaryExpr:
+		t = c.binary(v, env)
+	case *ast.TypeAssertExpr:
+		t = c.eval(v.X, env)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			t |= c.eval(el, env)
+		}
+	case *ast.CallExpr:
+		for _, r := range c.evalCall(v, env) {
+			t |= r
+		}
+	case *ast.FuncLit:
+		// Captured objects are shared with the enclosing frame; the
+		// closure's own parameters start clean.
+		c.stmt(v.Body, env)
+	case *ast.KeyValueExpr:
+		c.eval(v.Key, env)
+		t = c.eval(v.Value, env)
+	}
+	t |= ctSourceExpr(c.info, e)
+	if t != 0 && c.eng.declassified(e.Pos()) {
+		return 0
+	}
+	return t
+}
+
+// binary handles operators: comparisons against nil are public (pointer
+// identity, not content), string comparisons on secrets are byte-wise
+// variable-time (class 5), and everything else unions its operands.
+func (c *ctChecker) binary(v *ast.BinaryExpr, env ctEnv) labels {
+	isCompare := false
+	switch v.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		isCompare = true
+	}
+	if isCompare && (isNilExpr(c.info, v.X) || isNilExpr(c.info, v.Y)) {
+		c.eval(v.X, env)
+		c.eval(v.Y, env)
+		return 0
+	}
+	t := c.eval(v.X, env) | c.eval(v.Y, env)
+	if isCompare && t != 0 {
+		if tv, ok := c.info.Types[v.X]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				c.violation(v.Pos(), ctClassCompare,
+					"variable-time string comparison on %s; compare secrets with crypto/subtle.ConstantTimeCompare", c.describe(t))
+			}
+		}
+	}
+	return t
+}
+
+// evalCall interprets a call: conversions and builtins first, then sink
+// classification (variable-time callees report and still propagate),
+// then result taint via passthrough, sanitizer, callee summary, or the
+// conservative external union.
+func (c *ctChecker) evalCall(call *ast.CallExpr, env ctEnv) []labels {
+	info := c.info
+
+	// Type conversion: taint passes through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		var t labels
+		for _, a := range call.Args {
+			t |= c.eval(a, env)
+		}
+		return []labels{t}
+	}
+
+	// Builtins.
+	if id := identOf(call.Fun); id != nil {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return c.builtin(id.Name, call, env)
+		}
+	}
+
+	callee := staticCallee(info, call)
+
+	// Expanded arguments: receiver first for method calls.
+	var args []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := info.Selections[sel]; isMethod {
+			args = append(args, sel.X)
+		} else {
+			c.eval(sel.X, env)
+		}
+	} else {
+		c.eval(call.Fun, env)
+	}
+	recvOffset := len(args)
+	args = append(args, call.Args...)
+	argTaint := make([]labels, len(args))
+	var union labels
+	for i, a := range args {
+		argTaint[i] = c.eval(a, env)
+		union |= argTaint[i]
+	}
+
+	// Class 5: variable-time callee with a secret operand. Report and
+	// propagate — big.Int.Set on the master key is a finding and still
+	// the master key.
+	if callee != nil && union != 0 {
+		if desc, ok := ctVartime(callee); ok {
+			c.violation(call.Pos(), ctClassVartime,
+				"%s flows into variable-time %s; use crypto/subtle or fixed-limb arithmetic", c.describe(union), desc)
+		}
+	}
+
+	// Result count.
+	nres := 1
+	if tv, ok := info.Types[call]; ok && tv.Type != nil {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	out := make([]labels, max(nres, 1))
+
+	switch {
+	case callee != nil && ctPassthrough(callee):
+		for i := range out {
+			out[i] = union
+		}
+	case callee != nil && ctSanitizes(callee):
+		// clean
+	default:
+		if fa := c.eng.facts(c.fa.pkg, callee); fa != nil {
+			// Translate the callee summary: parameter bits substitute this
+			// site's argument taint. The summary's absolute source bits are
+			// deliberately dropped — the flow-insensitive fixpoint seeds
+			// bodies with the union of every call site's taint, so once one
+			// caller passes a private key into ec.IsOnCurve its summary
+			// would return "private key" at every call site in the program.
+			// Functions that genuinely produce secrets are covered without
+			// them: key-typed results are re-labeled by ctSourceExpr at the
+			// call expression, generators are listed in ctSourceCall, and
+			// derivation helpers are passthrough.
+			sig := calleeSig(callee)
+			paramTaint := func(j int) labels { // j indexes fa.params
+				if j < fa.recvOffset {
+					if recvOffset > 0 {
+						return argTaint[0]
+					}
+					return 0
+				}
+				k := j - fa.recvOffset + recvOffset
+				if k >= len(args) {
+					return 0
+				}
+				t := argTaint[k]
+				if sig != nil && sig.Variadic() && j-fa.recvOffset == sig.Params().Len()-1 {
+					for m := k + 1; m < len(args); m++ {
+						t |= argTaint[m]
+					}
+				}
+				return t
+			}
+			for i := 0; i < nres && i < len(fa.retOut); i++ {
+				ro := fa.retOut[i]
+				var t labels
+				for j := range fa.params {
+					if pb := paramLabel(j); pb != 0 && ro&pb != 0 {
+						t |= paramTaint(j)
+					}
+				}
+				out[i] = t
+			}
+		} else {
+			// Unresolved or external callee: every result carries the union
+			// of argument (and receiver) taint.
+			for i := range out {
+				out[i] = union
+			}
+		}
+		if callee != nil {
+			for i, lab := range ctSourceCall(callee) {
+				if i < len(out) {
+					out[i] |= lab
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *ctChecker) builtin(name string, call *ast.CallExpr, env ctEnv) []labels {
+	switch name {
+	case "make":
+		// Class 4: a secret-length allocation leaks through the allocator.
+		for i, a := range call.Args {
+			if i == 0 {
+				continue // the type operand
+			}
+			if t := c.eval(a, env); t != 0 {
+				c.violation(a.Pos(), ctClassAlloc,
+					"allocation size depends on %s; secret-length allocations leak through the allocator", c.describe(t))
+			}
+		}
+		return []labels{0}
+	case "append":
+		var t labels
+		for _, a := range call.Args {
+			t |= c.eval(a, env)
+		}
+		if len(call.Args) > 0 {
+			c.setLHS(env, call.Args[0], t)
+		}
+		return []labels{t}
+	case "copy":
+		if len(call.Args) == 2 {
+			t := c.eval(call.Args[1], env)
+			c.eval(call.Args[0], env)
+			c.setLHS(env, call.Args[0], t)
+		}
+		return []labels{0}
+	case "min", "max":
+		var t labels
+		for _, a := range call.Args {
+			t |= c.eval(a, env)
+		}
+		return []labels{t}
+	case "delete":
+		if len(call.Args) == 2 {
+			c.eval(call.Args[0], env)
+			if t := c.eval(call.Args[1], env); t != 0 {
+				c.violation(call.Args[1].Pos(), ctClassIndex,
+					"memory index depends on %s; secret-dependent table lookups leak through the data cache", c.describe(t))
+			}
+		}
+		return []labels{0}
+	default:
+		// len, cap, new, clear, panic, print, println, close, complex,
+		// real, imag, recover: lengths and the rest are public.
+		for _, a := range call.Args {
+			c.eval(a, env)
+		}
+		return []labels{0}
+	}
+}

@@ -159,6 +159,27 @@ func TestVarTimeFixture(t *testing.T) {
 	)
 }
 
+func TestCTFlowFixture(t *testing.T) {
+	checkFixture(t,
+		"./testdata/src/ctflow/bfibe",
+		"./testdata/src/ctflow/app",
+	)
+}
+
+// TestCTFlowDeclassifyReported pins the declassification record: the
+// fixture's one //mwslint:declassify directive must surface in the
+// report with its justification.
+func TestCTFlowDeclassifyReported(t *testing.T) {
+	prog := loadFixture(t, "./testdata/src/ctflow/bfibe", "./testdata/src/ctflow/app")
+	rep := lint.RunProgramReport(prog, lint.DefaultAnalyzers())
+	if len(rep.Declassified) != 1 {
+		t.Fatalf("want exactly 1 declassification, got %v", rep.Declassified)
+	}
+	if !strings.Contains(rep.Declassified[0].Reason, "public by construction") {
+		t.Errorf("declassification reason = %q, want the directive's justification", rep.Declassified[0].Reason)
+	}
+}
+
 func TestLockOrderFixture(t *testing.T) {
 	checkFixture(t,
 		"./testdata/src/lockorder/locks",
@@ -219,6 +240,7 @@ func TestFixtureWantsAreExercised(t *testing.T) {
 		{"./testdata/src/noncereuse/symenc", "./testdata/src/noncereuse/enc"},
 		{"./testdata/src/keyzero/kdf", "./testdata/src/keyzero/symenc", "./testdata/src/keyzero/ticket"},
 		{"./testdata/src/vartime/ec", "./testdata/src/vartime/pairing", "./testdata/src/vartime/bfibe", "./testdata/src/vartime/tpkg", "./testdata/src/vartime/use"},
+		{"./testdata/src/ctflow/bfibe", "./testdata/src/ctflow/app"},
 		{"./testdata/src/lockorder/locks", "./testdata/src/lockorder/alpha", "./testdata/src/lockorder/beta"},
 		{"./testdata/src/lockheld/storage"},
 		{"./testdata/src/atomicmix/counter", "./testdata/src/atomicmix/reader"},

@@ -25,6 +25,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -115,7 +116,54 @@ func DefaultAnalyzers() []*Analyzer {
 		LockHeld,
 		AtomicMix,
 		GoLeak,
+		CTFlow,
 	}
+}
+
+// SelectAnalyzers filters the suite by the CLI's -only/-skip name lists.
+// An unknown name in either list is an error — a typo must not silently
+// run (or skip) the wrong set.
+func SelectAnalyzers(all []*Analyzer, only, skip []string) ([]*Analyzer, error) {
+	known := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		known[a.Name] = a
+	}
+	names := func(list []string, flag string) (map[string]bool, error) {
+		set := make(map[string]bool, len(list))
+		for _, n := range list {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if known[n] == nil {
+				return nil, fmt.Errorf("%s: unknown analyzer %q (run mwslint -list for the suite)", flag, n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	onlySet, err := names(only, "-only")
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := names(skip, "-skip")
+	if err != nil {
+		return nil, err
+	}
+	if len(onlySet) > 0 && len(skipSet) > 0 {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if len(onlySet) > 0 && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // Suppression records one diagnostic that a //mwslint:ignore directive
@@ -126,6 +174,15 @@ type Suppression struct {
 	Reason   string
 }
 
+// Declassification records one //mwslint:declassify directive: where,
+// and the analyst's justification for treating the covered values as
+// public. ctflow honors them; the report lists them so reviewers and
+// SARIF consumers see every point where the secret lattice is cut.
+type Declassification struct {
+	Pos    token.Position
+	Reason string
+}
+
 // AnalyzerTiming is the wall-clock cost of one analyzer over the whole
 // program (per-package analyzers are summed across packages).
 type AnalyzerTiming struct {
@@ -134,11 +191,13 @@ type AnalyzerTiming struct {
 }
 
 // Report is the full outcome of a run: surviving diagnostics, the
-// suppressed ones with their justifications, and per-analyzer timings.
+// suppressed ones with their justifications, the declared
+// declassifications, and per-analyzer timings.
 type Report struct {
-	Diags      []Diagnostic
-	Suppressed []Suppression
-	Timings    []AnalyzerTiming
+	Diags        []Diagnostic
+	Suppressed   []Suppression
+	Declassified []Declassification
+	Timings      []AnalyzerTiming
 }
 
 // Run loads the packages matching patterns (relative to dir) and runs the
@@ -194,9 +253,25 @@ func RunProgramReport(prog *Program, analyzers []*Analyzer) *Report {
 		elapsed[a.Name] += time.Since(start)
 	}
 
-	directives, directiveDiags := collectDirectives(prog, analyzers)
-	kept, suppressed := suppress(diags, directives)
-	diags = append(kept, directiveDiags...)
+	// Directive names validate against the full suite, not the selected
+	// subset: running `-only=ctflow` must not turn every checked-in
+	// lockheld ignore into an "unknown analyzer" finding.
+	known := analyzers
+	for _, a := range DefaultAnalyzers() {
+		found := false
+		for _, b := range known {
+			if b.Name == a.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			known = append(known, a)
+		}
+	}
+	ds := collectDirectives(prog, known)
+	kept, suppressed := suppress(diags, ds.ignore)
+	diags = append(kept, ds.diags...)
 
 	byPos := func(af, bf string, al, bl, ac, bc int, aa, ba string) bool {
 		if af != bf {
@@ -219,7 +294,13 @@ func RunProgramReport(prog *Program, analyzers []*Analyzer) *Report {
 		return byPos(a.Pos.Filename, b.Pos.Filename, a.Pos.Line, b.Pos.Line, a.Pos.Column, b.Pos.Column, a.Analyzer, b.Analyzer)
 	})
 
-	rep := &Report{Diags: diags, Suppressed: suppressed}
+	declassified := ds.declared
+	sort.Slice(declassified, func(i, j int) bool {
+		a, b := declassified[i], declassified[j]
+		return byPos(a.Pos.Filename, b.Pos.Filename, a.Pos.Line, b.Pos.Line, a.Pos.Column, b.Pos.Column, "", "")
+	})
+
+	rep := &Report{Diags: diags, Suppressed: suppressed, Declassified: declassified}
 	for _, a := range analyzers {
 		if d, ok := elapsed[a.Name]; ok {
 			rep.Timings = append(rep.Timings, AnalyzerTiming{Analyzer: a.Name, Duration: d})

@@ -100,6 +100,43 @@ type taintSpec struct {
 	// names (nil = report everywhere). Summaries are still computed over
 	// the whole program.
 	reportIn []string
+	// numericTaint lets boolean and numeric values carry taint. The
+	// default (false) treats them as metadata — right for the storage
+	// invariants, where a length parsed out of a secret is not the
+	// secret. ctflow sets it: a bit, digit, or table index derived from
+	// a secret scalar is exactly what a timing channel leaks.
+	numericTaint bool
+	// declassify honors //mwslint:declassify directives: expressions on
+	// covered lines evaluate clean. Only ctflow sets it — declassifying
+	// a timing flow must not also launder a plaintext-storage flow.
+	declassify bool
+	// crossPkg resolves callee summaries across package boundaries (see
+	// taintEngine.facts). Only ctflow sets it so far; the legacy
+	// analyzers keep the package-local resolution they were calibrated
+	// against.
+	crossPkg bool
+	// callSiteSources drops the concrete source bits of a callee summary's
+	// retOut when translating it at a call site, keeping only the
+	// parameter-bit substitution. The flow-insensitive fixpoint seeds each
+	// body with the union of every call site's taint, so retOut source
+	// bits are context-insensitive: once one caller passes a private key
+	// into ec.IsOnCurve, its result would read as "private key" at every
+	// other call site. Specs that set this must re-establish genuinely
+	// secret-producing calls at the call site via sourceCall (generators)
+	// or sourceExpr (key-typed results). Only ctflow sets it.
+	callSiteSources bool
+	// passthrough reports that the callee's results carry the union of
+	// its argument taint, skipping both its summary and sanitizer
+	// classification (hash-into-scalar helpers whose body launders
+	// through a digest but whose output is as secret as its inputs).
+	passthrough func(callee *types.Func) bool
+	// fieldRead, when set, filters the taint a struct-field read inherits
+	// from its container (containerTaint is the container's labels). The
+	// default object-granular behavior — any field of a tainted struct is
+	// fully tainted — is right for the storage invariants but floods
+	// ctflow: a service struct wired with a master key would turn every
+	// config-field branch into a "branches on the master key" finding.
+	fieldRead func(pkg *Package, info *types.Info, sel *ast.SelectorExpr, containerTaint labels) labels
 	// seedParam returns labels a parameter carries at entry regardless of
 	// call sites (e.g. "a []byte parameter named key is key material").
 	seedParam func(fn *types.Func, v *types.Var) labels
@@ -159,24 +196,35 @@ type funcFacts struct {
 	retOut []labels
 }
 
-// taintEngine ties a spec to a loaded program.
+// taintEngine ties a spec to a loaded program. Functions are indexed by
+// concFuncKey, not *types.Func identity: every package is type-checked
+// against export data, so the callee object seen from a caller package
+// is distinct from the defining package's Defs object, and an
+// object-keyed map would silently drop all cross-package propagation.
 type taintEngine struct {
 	spec    *taintSpec
 	prog    *Program
-	byObj   map[*types.Func]*funcFacts
+	byKey   map[string]*funcFacts
 	ordered []*funcFacts // deterministic iteration order
 	changed bool
+	// declass indexes //mwslint:declassify coverage when the spec honors
+	// it; expressions on covered lines evaluate clean.
+	declass map[declassKey]string
 	// reporting is the pass diagnostics go to; set only for the final
 	// replay, after the fixpoint has stabilized.
 	reporting *ProgramPass
 }
 
-// runTaint builds the engine, iterates summaries and parameter taint to
-// a global fixpoint, then replays every function once more with sink
-// reporting enabled.
-func runTaint(pass *ProgramPass, spec *taintSpec) {
-	e := &taintEngine{spec: spec, prog: pass.Prog, byObj: make(map[*types.Func]*funcFacts)}
-	for _, pkg := range pass.Prog.Packages {
+// buildTaintEngine constructs the engine over every function body in the
+// program and iterates summaries and parameter taint to a global
+// fixpoint, without reporting. ctflow consumes the summaries directly;
+// runTaint adds the reporting replay on top.
+func buildTaintEngine(prog *Program, spec *taintSpec) *taintEngine {
+	e := &taintEngine{spec: spec, prog: prog, byKey: make(map[string]*funcFacts)}
+	if spec.declassify {
+		e.declass, _ = collectDeclassify(prog)
+	}
+	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
@@ -202,6 +250,13 @@ func runTaint(pass *ProgramPass, spec *taintSpec) {
 			break
 		}
 	}
+	return e
+}
+
+// runTaint builds the engine, iterates to the global fixpoint, then
+// replays every function once more with sink reporting enabled.
+func runTaint(pass *ProgramPass, spec *taintSpec) {
+	e := buildTaintEngine(pass.Prog, spec)
 	e.reporting = pass
 	for _, fa := range e.ordered {
 		if spec.reportIn != nil && !pathEndsIn(fa.pkg.Path, spec.reportIn...) {
@@ -209,6 +264,17 @@ func runTaint(pass *ProgramPass, spec *taintSpec) {
 		}
 		e.analyze(fa, true)
 	}
+}
+
+// declassified reports whether pos sits on a line covered by a
+// //mwslint:declassify directive.
+func (e *taintEngine) declassified(pos token.Pos) bool {
+	if len(e.declass) == 0 || !pos.IsValid() {
+		return false
+	}
+	p := e.prog.Fset.Position(pos)
+	_, ok := e.declass[declassKey{p.Filename, p.Line}]
+	return ok
 }
 
 func (e *taintEngine) addFunc(fn *types.Func, decl *ast.FuncDecl, pkg *Package) {
@@ -231,8 +297,27 @@ func (e *taintEngine) addFunc(fn *types.Func, decl *ast.FuncDecl, pkg *Package) 
 		}
 	}
 	fa.retOut = make([]labels, sig.Results().Len())
-	e.byObj[fn] = fa
+	e.byKey[concFuncKey(fn)] = fa
 	e.ordered = append(e.ordered, fa)
+}
+
+// facts resolves the funcFacts for a callee across package boundaries,
+// or nil for external, interface, and unresolved callees.
+//
+// Cross-package resolution is gated per spec: the legacy analyzers were
+// calibrated when the object-keyed map silently failed across packages
+// (callees resolved to the conservative argument-union fallback), and
+// turning full summaries on changes their finding sets wholesale.
+// ctflow opts in; migrating the others is a recalibration item on the
+// ROADMAP.
+func (e *taintEngine) facts(caller *Package, fn *types.Func) *funcFacts {
+	if fn == nil {
+		return nil
+	}
+	if !e.spec.crossPkg && fn.Pkg() != caller.Types {
+		return nil
+	}
+	return e.byKey[concFuncKey(fn)]
 }
 
 // analyze runs the intraprocedural transfer for one function: to a local
@@ -324,19 +409,26 @@ func taintableType(t types.Type) bool {
 	return true
 }
 
+// taintable applies the spec's numeric-taint mode on top of the base
+// type filter: ctflow tracks secret bits and indices, the storage
+// invariants do not.
+func (b *bodyState) taintable(t types.Type) bool {
+	return b.engine.spec.numericTaint || taintableType(t)
+}
+
 // filterByType clears taint on expressions whose type cannot carry it.
 func (b *bodyState) filterByType(e ast.Expr, t labels) labels {
 	if t == 0 {
 		return 0
 	}
-	if tv, ok := b.info.Types[e]; ok && tv.Type != nil && !taintableType(tv.Type) {
+	if tv, ok := b.info.Types[e]; ok && tv.Type != nil && !b.taintable(tv.Type) {
 		return 0
 	}
 	return t
 }
 
 func (b *bodyState) setObj(o types.Object, t labels) {
-	if o == nil || t == 0 || !taintableType(o.Type()) {
+	if o == nil || t == 0 || !b.taintable(o.Type()) {
 		return
 	}
 	if t&^b.obj[o] != 0 {
@@ -436,12 +528,18 @@ func (b *bodyState) stmt(s ast.Stmt) {
 	case *ast.RangeStmt:
 		t := b.expr(s.X)
 		if s.Key != nil {
+			// The key is a public index or map key, not the container's
+			// contents — `for id, dev := range devices` must not mark the
+			// identifier string with the devices' key material. Channel and
+			// integer ranges are the exception: there the key IS the element
+			// (or a value bounded by the secret).
+			kt := rangeKeyTaint(b.info, s.X, t)
 			if s.Tok == token.DEFINE {
 				if id, ok := s.Key.(*ast.Ident); ok {
-					b.setObj(b.info.Defs[id], t)
+					b.setObj(b.info.Defs[id], kt)
 				}
 			} else {
-				b.setLHS(s.Key, t)
+				b.setLHS(s.Key, kt)
 			}
 		}
 		if s.Value != nil {
@@ -641,6 +739,11 @@ func (b *bodyState) expr(e ast.Expr) labels {
 			t = 0
 		} else {
 			t = b.expr(v.X)
+			if b.engine.spec.fieldRead != nil && t != 0 {
+				if sel, ok := b.info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+					t = b.engine.spec.fieldRead(b.fa.pkg, b.info, v, t)
+				}
+			}
 		}
 	case *ast.IndexExpr:
 		t = b.expr(v.X)
@@ -680,7 +783,13 @@ func (b *bodyState) expr(e ast.Expr) labels {
 	if b.engine.spec.sourceExpr != nil {
 		t |= b.engine.spec.sourceExpr(b.info, e)
 	}
-	return b.filterByType(e, t)
+	t = b.filterByType(e, t)
+	// Declassification: an expression on a covered line is, by the
+	// analyst's explicit claim, public from here on.
+	if t != 0 && b.engine.declassified(e.Pos()) {
+		return 0
+	}
+	return t
 }
 
 func (b *bodyState) composite(lit *ast.CompositeLit) labels {
@@ -856,13 +965,31 @@ func (b *bodyState) call(c *ast.CallExpr) []labels {
 	}
 	out := make([]labels, max(nres, 1))
 
-	if callee != nil && spec.sanitizes != nil && spec.sanitizes(callee) {
+	if callee != nil && spec.passthrough != nil && spec.passthrough(callee) {
+		// The callee's output is exactly as secret as its inputs; its body
+		// (typically a digest) is neither a launderer nor a summary worth
+		// consulting.
+		var t labels
+		for _, at := range argTaint {
+			t |= at
+		}
+		for i := range out {
+			out[i] = t
+		}
+		if nres == 1 {
+			out[0] = b.filterByType(c, out[0])
+		}
 		return out
 	}
 
-	if fa := b.engine.byObj[callee]; fa != nil {
-		// Interprocedural propagation: widen the callee's incoming
-		// parameter taint with this site's concrete argument taint.
+	// Interprocedural propagation: widen the callee's incoming parameter
+	// taint with this site's concrete argument taint. This runs even for
+	// sanitizing callees — a sanitizer launders its *result*, but its body
+	// still computes on the secret arguments and must be analyzed with
+	// them (ec.ScalarMultSecret's ladder sees the secret scalar regardless
+	// of its output being a public commitment).
+	fa := b.engine.facts(b.fa.pkg, callee)
+	if fa != nil {
 		for j := range fa.params {
 			var t labels
 			if j < fa.recvOffset {
@@ -878,11 +1005,23 @@ func (b *bodyState) call(c *ast.CallExpr) []labels {
 				b.engine.changed = true
 			}
 		}
+	}
+
+	if callee != nil && spec.sanitizes != nil && spec.sanitizes(callee) {
+		return out
+	}
+
+	if fa != nil {
 		// Translate the callee summary: source bits pass through,
-		// parameter bits substitute this site's argument taint.
+		// parameter bits substitute this site's argument taint. Under
+		// callSiteSources the source bits are dropped as context-
+		// insensitive (see the taintSpec field).
 		for i := 0; i < nres && i < len(fa.retOut); i++ {
 			ro := fa.retOut[i]
 			t := sourceBits(ro)
+			if spec.callSiteSources {
+				t = 0
+			}
 			for j := range fa.params {
 				if pb := paramLabel(j); pb != 0 && ro&pb != 0 {
 					if j < fa.recvOffset {
@@ -1045,6 +1184,27 @@ func isByteSlice(t types.Type) bool {
 	}
 	basic, ok := sl.Elem().Underlying().(*types.Basic)
 	return ok && basic.Kind() == types.Byte
+}
+
+// rangeKeyTaint is the taint a range key inherits when the ranged
+// container carries t: the container's taint for channels (the key is
+// the received element) and integer ranges (the key is bounded by the
+// secret), clean for slice/array/map/string keys (a position or map key
+// is public; secret map keys are caught at the indexing sites instead).
+func rangeKeyTaint(info *types.Info, x ast.Expr, t labels) labels {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return t
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Chan:
+		return t
+	case *types.Basic:
+		if u.Info()&types.IsInteger != 0 {
+			return t
+		}
+	}
+	return 0
 }
 
 // isNilExpr reports whether e is the predeclared nil.

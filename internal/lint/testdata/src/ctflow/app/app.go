@@ -1,0 +1,31 @@
+// Package app is the cross-package half of the ctflow fixture: secret
+// taint must survive the package boundary through bfibe's call-graph
+// summaries, not just through type-based sources in one package.
+package app
+
+import (
+	"mwskit/internal/lint/testdata/src/ctflow/bfibe"
+)
+
+// routes is a public table indexed by a secret below.
+var routes [256]int
+
+// CrossBranch branches on a private-key byte obtained through the
+// bfibe.KeyByte summary: cross-package class 1.
+func CrossBranch(sk *bfibe.PrivateKey) int {
+	b := bfibe.KeyByte(sk, 0)
+	if b == 0 { // want "branch condition depends on an extracted identity private key"
+		return 1
+	}
+	return 0
+}
+
+// CrossIndex indexes with the same cross-package secret: class 2.
+func CrossIndex(sk *bfibe.PrivateKey) int {
+	return routes[bfibe.KeyByte(sk, 1)] // want "memory index depends on an extracted identity private key"
+}
+
+// CrossClean consumes only the key's public identity: no findings.
+func CrossClean(sk *bfibe.PrivateKey) int {
+	return len(sk.ID)
+}

@@ -1,0 +1,116 @@
+// Package bfibe is a mwslint fixture for the ctflow analyzer: the
+// package tail makes its MasterKey/PrivateKey types key material by
+// type and its key-named []byte parameters seeded key material, so the
+// five violation classes and the three declassification routes can be
+// exercised without the real crypto core.
+package bfibe
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"math/big"
+)
+
+// MasterKey mirrors the real master secret: the scalar rides in an
+// unexported field reached through the type-based source.
+type MasterKey struct {
+	s *big.Int
+}
+
+// PrivateKey mirrors the real extracted key; D is the secret field.
+type PrivateKey struct {
+	ID []byte
+	D  *big.Int
+}
+
+// NewMaster wraps a scalar for the fixture's callers.
+func NewMaster(s *big.Int) *MasterKey { return &MasterKey{s: s} }
+
+// sbox is a public table the positives index with secret bytes.
+var sbox [256]byte
+
+// BranchOnKey branches directly on seeded key bytes: class 1.
+func BranchOnKey(key []byte) int {
+	if key[0] == 0 { // want "branch condition depends on symmetric key material"
+		return 1
+	}
+	return 0
+}
+
+// IndexByKey loads at a secret offset: class 2.
+func IndexByKey(key []byte) byte {
+	return sbox[key[0]] // want "memory index depends on symmetric key material"
+}
+
+// LoopOnKey runs a secret-dependent iteration count: class 3.
+func LoopOnKey(key []byte) int {
+	n := 0
+	for i := 0; i < int(key[0]); i++ { // want "loop bound depends on symmetric key material"
+		n++
+	}
+	return n
+}
+
+// AllocByKey sizes an allocation from a secret byte: class 4.
+func AllocByKey(key []byte) []byte {
+	return make([]byte, int(key[1])) // want "allocation size depends on symmetric key material"
+}
+
+// MasterSign leaks the master scalar into variable-time math/big and
+// branches on the result: class 5 plus class 1, through the typed
+// MasterKey source and its secret field.
+func MasterSign(m *MasterKey) int {
+	if m.s.Sign() > 0 { // want "IBE master-key material flows into variable-time math/big.Sign" "branch condition depends on IBE master-key material"
+		return 1
+	}
+	return 0
+}
+
+// derived is the in-package interprocedural hop: its result carries its
+// argument's taint through the call-graph summary.
+func derived(key []byte) byte {
+	return key[0] ^ 0x55
+}
+
+// BranchOnDerived branches on a value that is secret only through the
+// derived() summary: interprocedural class 1.
+func BranchOnDerived(key []byte) int {
+	if derived(key) == 0 { // want "branch condition depends on symmetric key material"
+		return 1
+	}
+	return 0
+}
+
+// KeyByte exposes one byte of the private scalar; the app fixture
+// consumes it across the package boundary. The big.Bytes call is itself
+// a class-5 finding here.
+func KeyByte(sk *PrivateKey, i int) byte {
+	return sk.D.Bytes()[i] // want "an extracted identity private key flows into variable-time math/big.Bytes"
+}
+
+// CompareSubtle is the sanctioned route: crypto/subtle's result is
+// public, so the branch is clean.
+func CompareSubtle(key, tag []byte) bool {
+	return subtle.ConstantTimeCompare(key, tag) == 1
+}
+
+// HashLaunder digests the key; hash output is public, so indexing and
+// branching on it is clean.
+func HashLaunder(key []byte) int {
+	h := sha256.Sum256(key)
+	if h[0] == 0 {
+		return int(sbox[h[1]])
+	}
+	return 0
+}
+
+// DeclassifiedBranch asserts, with the mandatory reason, that the
+// branched-on byte is public; the directive cuts the lattice and the
+// declassification is listed in the report.
+func DeclassifiedBranch(key []byte) int {
+	//mwslint:declassify fixture: the low bit is blinded before exposure and public by construction
+	if key[2]&1 == 1 {
+		return 1
+	}
+	return 0
+}

@@ -17,7 +17,7 @@ type MasterKey struct {
 
 // ExtractBad multiplies by the master secret on the variable-time path.
 func (m *MasterKey) ExtractBad(c *ec.Curve, q ec.Point) ec.Point {
-	return c.ScalarMult(q, m.s) // want "the IBE master secret reaches the variable-time ScalarMult"
+	return c.ScalarMult(q, m.s) // want "the IBE master secret reaches the variable-time ScalarMult" "IBE master-key material flows into variable-time ec.ScalarMult"
 }
 
 // ExtractGood takes the constant-schedule path: clean.
@@ -28,7 +28,7 @@ func (m *MasterKey) ExtractGood(c *ec.Curve, q ec.Point) ec.Point {
 // extractVia launders the scalar through a helper two calls deep; the
 // interprocedural engine still sees the master taint at the sink.
 func extractVia(c *ec.Curve, q ec.Point, k *big.Int) ec.Point {
-	return c.ScalarMult(q, k) // want "the IBE master secret reaches the variable-time ScalarMult"
+	return c.ScalarMult(q, k) // want "the IBE master secret reaches the variable-time ScalarMult" "IBE master-key material flows into variable-time ec.ScalarMult"
 }
 
 // ExtractLaundered routes the master scalar through extractVia.

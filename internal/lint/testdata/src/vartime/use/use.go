@@ -17,7 +17,7 @@ func EncapsulateBad(sys *pairing.System) (ec.Point, error) {
 	if err != nil {
 		return ec.Point{}, err
 	}
-	return sys.Curve.ScalarMult(sys.G1(), r), nil // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult"
+	return sys.Curve.ScalarMult(sys.G1(), r), nil // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult" "a secret scalar flows into variable-time ec.ScalarMult"
 }
 
 // EncapsulateSecret uses the constant-schedule multiplier: clean.
@@ -60,7 +60,7 @@ func SignDerived(sys *pairing.System) (ec.Point, error) {
 
 // mulVia is an innocent-looking helper; taint arrives via its caller.
 func mulVia(sys *pairing.System, k *big.Int) ec.Point {
-	return sys.Curve.ScalarMult(sys.G1(), k) // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult"
+	return sys.Curve.ScalarMult(sys.G1(), k) // want "a secret scalar drawn by RandomScalar reaches the variable-time ScalarMult" "a secret scalar flows into variable-time ec.ScalarMult"
 }
 
 // EncapsulateLaundered routes the secret through mulVia.

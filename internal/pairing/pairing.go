@@ -36,6 +36,8 @@ func (g GT) E2() ff.E2 { return g.v }
 
 // Bytes returns the canonical fixed-width encoding of the element, used
 // as KDF input by the IBE layer.
+//
+//mwslint:ignore ctflow GT serialization calls math/big-backed ff.Bytes; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (g GT) Bytes() []byte { return g.v.Bytes() }
 
 // Equal reports whether two target-group elements are the same.
@@ -49,6 +51,8 @@ func (g GT) Mul(h GT) GT { return GT{v: g.v.Mul(h.v)} }
 
 // Exp returns g^k. Negative exponents use the group inverse (the
 // conjugate, since elements of μ_q satisfy g^(p+1) = g·g^p = norm = 1).
+//
+//mwslint:ignore ctflow GT exponentiation is math/big square-and-multiply; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (g GT) Exp(k *big.Int) GT {
 	if k.Sign() < 0 {
 		inv := g.v.Conjugate() // g ∈ μ_{p+1} ⇒ g⁻¹ = conj(g)
@@ -91,6 +95,8 @@ func (e *Pairing) GTFromBytes(b []byte) (GT, error) {
 // Pair computes the modified Tate pairing ê(P, Q). Both inputs must lie in
 // the order-q subgroup G1 (callers obtain them via hashing or scalar
 // multiplication of subgroup points); pairing with the identity returns 1.
+//
+//mwslint:ignore ctflow the Miller loop runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (e *Pairing) Pair(p, q ec.Point) GT {
 	obsv.AddPairing()
 	if p.Inf || q.Inf {
@@ -110,6 +116,8 @@ func (e *Pairing) Pair(p, q ec.Point) GT {
 //
 // Vertical lines evaluate into F_p and are skipped (the final
 // exponentiation maps them to 1).
+//
+//mwslint:ignore ctflow the Miller loop runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (e *Pairing) miller(p, q ec.Point) ff.E2 {
 	c := e.Curve
 	f := c.F.E2One()
@@ -132,6 +140,8 @@ func (e *Pairing) miller(p, q ec.Point) ff.E2 {
 // tangentAt evaluates the tangent line at T at the distorted point
 // (−x_Q, i·y_Q). A vertical tangent (y_T = 0) or T at infinity contributes
 // a unit factor.
+//
+//mwslint:ignore ctflow line evaluation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (e *Pairing) tangentAt(t ec.Point, xq, yq ff.Element) ff.E2 {
 	c := e.Curve
 	if t.Inf || t.Y.IsZero() {
@@ -146,6 +156,8 @@ func (e *Pairing) tangentAt(t ec.Point, xq, yq ff.Element) ff.E2 {
 // chordAt evaluates the line through T and P at the distorted point. When
 // the chord is vertical (T = −P) or either endpoint is infinity the factor
 // is a unit; when T = P it degenerates to the tangent.
+//
+//mwslint:ignore ctflow line evaluation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (e *Pairing) chordAt(t, p ec.Point, xq, yq ff.Element) ff.E2 {
 	c := e.Curve
 	if t.Inf || p.Inf {
@@ -165,6 +177,8 @@ func (e *Pairing) chordAt(t, p ec.Point, xq, yq ff.Element) ff.E2 {
 // finalExp raises the Miller accumulator to (p²−1)/q = (p−1)·((p+1)/q).
 // The easy part f^(p−1) is conj(f)·f⁻¹ via Frobenius; the hard part is a
 // plain square-and-multiply with exponent (p+1)/q.
+//
+//mwslint:ignore ctflow the final exponentiation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (e *Pairing) finalExp(f ff.E2) ff.E2 {
 	// f^(p−1) = f^p / f = conj(f) · f⁻¹.
 	g := f.Conjugate().Mul(f.Inv())

@@ -64,6 +64,8 @@ func NewBlowfish(key []byte) (*Blowfish, error) {
 func (c *Blowfish) BlockSize() int { return 8 }
 
 // f is the Blowfish round function.
+//
+//mwslint:ignore ctflow Blowfish's F function is S-box-driven by design; cache-timing hardening means replacing the cipher (DESIGN.md), not masking these loads
 func (c *Blowfish) f(x uint32) uint32 {
 	a := c.s[0][x>>24]
 	b := c.s[1][x>>16&0xFF]

@@ -41,6 +41,8 @@ type Partial struct {
 
 // Split shares the master secret among n servers with threshold t
 // (any t of the n shares suffice; t−1 reveal nothing).
+//
+//mwslint:ignore ctflow Horner evaluation adds the secret polynomial coefficients with math/big; limb-timing debt tracked by the fixed-limb ROADMAP item
 func Split(master *bfibe.MasterKey, t, n int, q *big.Int, rng io.Reader) ([]Share, error) {
 	if t < 1 || n < t {
 		return nil, fmt.Errorf("tpkg: invalid threshold %d of %d", t, n)
