@@ -70,7 +70,7 @@ type MasterKey struct {
 
 // S returns a copy of the master scalar (for persistence inside the PKG).
 //
-//mwslint:ignore ctflow copying the master scalar with big.Set is length-dependent; limb-timing debt tracked by the fixed-limb ROADMAP item
+//mwslint:ignore ctflow persistence boundary: the master scalar leaves the limb domain as a big.Int only to be serialized by the PKG's own storage, not to enter arithmetic
 func (m *MasterKey) S() *big.Int { return new(big.Int).Set(m.s) }
 
 // MasterKeyFromScalar reconstructs a master key from persisted state.
@@ -163,7 +163,8 @@ func (p *Params) Encapsulate(id []byte, keyLen int, rng io.Reader) (*Encapsulati
 		return nil, nil, err
 	}
 	u := p.Sys.G1Comb().Mul(r)
-	shared := g.Exp(r)
+	// r keys the pad, so the exponentiation takes the constant-time path.
+	shared := p.Sys.GTExpSecret(g, r)
 	return &Encapsulation{U: u}, kdf.SessionKey(shared.Bytes(), keyLen), nil
 }
 
@@ -173,16 +174,58 @@ func (p *Params) Decapsulate(sk *PrivateKey, enc *Encapsulation, keyLen int) ([]
 	if sk == nil || enc == nil {
 		return nil, errors.New("bfibe: nil key or encapsulation")
 	}
-	if enc.U.Inf || !p.Sys.Curve.IsOnCurve(enc.U) {
-		return nil, errors.New("bfibe: encapsulation point off curve")
-	}
-	// Order check before the point meets d_ID: an on-curve point outside
-	// G1 pairs into a small subgroup and probes the private key (the
-	// invalid-point attack); honest encapsulations are always rP ∈ G1.
-	if !p.Sys.Curve.ScalarBaseOrderCheck(enc.U) {
-		return nil, errors.New("bfibe: encapsulation point not in the order-q subgroup")
+	if err := p.checkEncapsulationPoint(enc.U); err != nil {
+		return nil, err
 	}
 	shared := p.Sys.Pair(sk.D, enc.U)
+	return kdf.SessionKey(shared.Bytes(), keyLen), nil
+}
+
+// checkEncapsulationPoint validates an encapsulation point before it may
+// meet private-key material. The order check matters: an on-curve point
+// outside G1 pairs into a small subgroup and probes the private key (the
+// invalid-point attack); honest encapsulations are always rP ∈ G1.
+func (p *Params) checkEncapsulationPoint(u ec.Point) error {
+	if u.Inf || !p.Sys.Curve.IsOnCurve(u) {
+		return errors.New("bfibe: encapsulation point off curve")
+	}
+	if !p.Sys.Curve.ScalarBaseOrderCheck(u) {
+		return errors.New("bfibe: encapsulation point not in the order-q subgroup")
+	}
+	return nil
+}
+
+// Decapsulator amortizes the pairing cost of one private key across many
+// decapsulations: the Miller-loop line coefficients of d_ID — everything
+// in ê(d_ID, ·) that does not depend on the encapsulation point — are
+// computed once, so each Decapsulate pays only the F_p² accumulation and
+// the final exponentiation. Retrieval batches, where one identity key
+// decrypts many messages of a nonce epoch, are the intended caller
+// (rclient.DecryptRetrieval builds one per key in the batch). Immutable
+// and safe for concurrent use by the batch worker pool.
+type Decapsulator struct {
+	p   *Params
+	pre *pairing.G1Precomp
+}
+
+// NewDecapsulator precomputes the pairing lines for one private key.
+func (p *Params) NewDecapsulator(sk *PrivateKey) (*Decapsulator, error) {
+	if sk == nil {
+		return nil, errors.New("bfibe: nil private key")
+	}
+	return &Decapsulator{p: p, pre: p.Sys.G1Precomp(sk.D)}, nil
+}
+
+// Decapsulate recomputes the symmetric key from U using the precomputed
+// key lines, with the same validation as Params.Decapsulate.
+func (d *Decapsulator) Decapsulate(enc *Encapsulation, keyLen int) ([]byte, error) {
+	if enc == nil {
+		return nil, errors.New("bfibe: nil encapsulation")
+	}
+	if err := d.p.checkEncapsulationPoint(enc.U); err != nil {
+		return nil, err
+	}
+	shared := d.pre.Pair(enc.U)
 	return kdf.SessionKey(shared.Bytes(), keyLen), nil
 }
 
@@ -205,7 +248,7 @@ func (p *Params) EncryptBasic(id, msg []byte, rng io.Reader) (*CiphertextBasic, 
 		return nil, err
 	}
 	u := p.Sys.G1Comb().Mul(r)
-	pad := g.Exp(r)
+	pad := p.Sys.GTExpSecret(g, r)
 	return &CiphertextBasic{
 		U: u,
 		V: kdf.Mask("mwskit/bfibe/h2", pad.Bytes(), msg),
@@ -258,7 +301,7 @@ func (p *Params) EncryptFull(id, msg []byte, rng io.Reader) (*CiphertextFull, er
 	// scalar takes the constant-schedule fixed-base path.
 	r := kdf.ToScalar("mwskit/bfibe/h3", p.Sys.Curve.Q, sigma, msg)
 	u := p.Sys.G1Comb().Mul(r)
-	pad := g.Exp(r)
+	pad := p.Sys.GTExpSecret(g, r)
 	return &CiphertextFull{
 		U: u,
 		V: kdf.Mask("mwskit/bfibe/h2", pad.Bytes(), sigma),

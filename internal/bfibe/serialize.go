@@ -111,7 +111,7 @@ func UnmarshalCiphertextFull(p *Params, b []byte) (*CiphertextFull, error) {
 
 // MarshalMasterKey encodes the master scalar for PKG persistence.
 //
-//mwslint:ignore ctflow serializing the master scalar with big.Bytes is length-dependent; limb-timing debt tracked by the fixed-limb ROADMAP item
+//mwslint:ignore ctflow persistence boundary: big.Bytes on the master scalar is length-dependent, but the encoding only ever reaches the PKG's own sealed storage
 func MarshalMasterKey(mk *MasterKey) []byte {
 	return mk.s.Bytes()
 }

@@ -58,15 +58,15 @@ func (t *Comb) Base() Point { return t.base }
 // every k. Suitable for secret scalars.
 func (t *Comb) Mul(k *big.Int) Point {
 	obsv.AddScalarMultSecret()
+	//mwslint:declassify the infinity flag of the precomputed base is public
 	if t.base.Inf {
 		return t.c.Infinity()
 	}
 	c := t.c
-	kn := c.normalizeSecretScalar(k)
-	digits := recodeSigned(kn, secretWindow, c.secretDigits())
+	digits := c.recodeSecret(k)
 	r := selectSigned(t.tbl[0], digits[0])
 	for i := 1; i < len(digits); i++ {
-		r = c.jacAdd(r, selectSigned(t.tbl[i], digits[i]))
+		r = c.jacAddSecret(r, selectSigned(t.tbl[i], digits[i]))
 	}
 	return c.fromJacobian(r)
 }

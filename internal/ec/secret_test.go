@@ -91,22 +91,23 @@ func TestScalarMultOffSubgroupPoint(t *testing.T) {
 	}
 }
 
-// TestRecodeSignedRoundTrip verifies the digit decomposition itself:
-// every digit odd and in range, and the weighted digit sum reproducing
-// the normalized scalar.
+// TestRecodeSignedRoundTrip verifies the limb-domain digit decomposition:
+// fixed digit count, every digit odd and in range, and the weighted digit
+// sum congruent to the input scalar mod q — i.e. the recoding picked the
+// odd representative kmod + q·2^(kmod mod 2) ∈ (0, 3q].
 func TestRecodeSignedRoundTrip(t *testing.T) {
 	c := smallCurve(t)
 	n := c.secretDigits()
+	threeQ := new(big.Int).Mul(c.Q, big.NewInt(3))
 	for i := 0; i < 500; i++ {
 		k, err := rand.Int(rand.Reader, new(big.Int).Lsh(c.Q, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		kn := c.normalizeSecretScalar(k)
-		if kn.Bit(0) != 1 {
-			t.Fatalf("normalize(%v) = %v is even", k, kn)
+		digits := c.recodeSecret(k)
+		if len(digits) != n {
+			t.Fatalf("recodeSecret(%v): %d digits, want %d", k, len(digits), n)
 		}
-		digits := recodeSigned(kn, secretWindow, n)
 		sum := new(big.Int)
 		for j := n - 1; j >= 0; j-- {
 			sum.Lsh(sum, secretWindow)
@@ -116,12 +117,56 @@ func TestRecodeSignedRoundTrip(t *testing.T) {
 				d = -d
 			}
 			if d&1 != 1 || d >= 1<<secretWindow {
-				t.Fatalf("digit %d of %v out of range: %d", j, kn, digits[j])
+				t.Fatalf("digit %d for %v out of range: %d", j, k, digits[j])
 			}
 		}
-		if sum.Cmp(kn) != 0 {
-			t.Fatalf("digits of %v sum to %v", kn, sum)
+		if sum.Bit(0) != 1 {
+			t.Fatalf("digit sum %v of %v is even", sum, k)
 		}
+		if sum.Sign() <= 0 || sum.Cmp(threeQ) > 0 {
+			t.Fatalf("digit sum %v of %v outside (0, 3q]", sum, k)
+		}
+		if new(big.Int).Mod(sum, c.Q).Cmp(new(big.Int).Mod(k, c.Q)) != 0 {
+			t.Fatalf("digits of %v sum to %v ≢ k (mod q)", k, sum)
+		}
+	}
+}
+
+// TestScalarMultSecretSum cross-checks the limb-domain scalar addition
+// path against computing (k1+k2) mod q with math/big, over edge pairs
+// that exercise the conditional −q correction and the zero sum.
+func TestScalarMultSecretSum(t *testing.T) {
+	c := smallCurve(t)
+	g := subgroupGen(t, c)
+	qm1 := new(big.Int).Sub(c.Q, big.NewInt(1))
+	pairs := [][2]*big.Int{
+		{big.NewInt(0), big.NewInt(0)},
+		{big.NewInt(1), big.NewInt(0)},
+		{big.NewInt(1), qm1}, // sum ≡ 0 (mod q)
+		{qm1, qm1},           // wraps past q
+		{new(big.Int).Set(c.Q), big.NewInt(3)},
+		{new(big.Int).Neg(c.Q), big.NewInt(5)},
+	}
+	for i := 0; i < 100; i++ {
+		k1, err := rand.Int(rand.Reader, new(big.Int).Lsh(c.Q, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := rand.Int(rand.Reader, new(big.Int).Lsh(c.Q, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, [2]*big.Int{k1, k2})
+	}
+	for _, pr := range pairs {
+		sum := new(big.Int).Add(new(big.Int).Mod(pr[0], c.Q), new(big.Int).Mod(pr[1], c.Q))
+		want := c.scalarMultBinary(g, sum.Mod(sum, c.Q))
+		if got := c.ScalarMultSecretSum(g, pr[0], pr[1]); !got.Equal(want) {
+			t.Fatalf("ScalarMultSecretSum(g, %v, %v) = %v, want %v", pr[0], pr[1], got, want)
+		}
+	}
+	if !c.ScalarMultSecretSum(c.Infinity(), big.NewInt(3), big.NewInt(4)).Inf {
+		t.Error("ScalarMultSecretSum(∞, ...) not ∞")
 	}
 }
 

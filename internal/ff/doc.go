@@ -4,7 +4,12 @@
 // The extension is constructed as a+bi with i² = −1, which requires the
 // field characteristic p ≡ 3 (mod 4) so that −1 is a quadratic non-residue
 // and x²+1 is irreducible. All parameter sets in internal/pairing satisfy
-// this. Arithmetic is built on math/big; values are immutable from the
-// caller's perspective (operations return fresh elements) so elements may
-// be shared freely across goroutines.
+// this.
+//
+// Arithmetic runs on fixed-size [MaxLimbs]uint64 arrays in Montgomery
+// form with value-independent control flow (see DESIGN.md §14 for the
+// constant-time contract per function); math/big appears only at the
+// public parameter-loading and serialization boundary. Values are
+// immutable from the caller's perspective (operations return fresh
+// elements) so elements may be shared freely across goroutines.
 package ff

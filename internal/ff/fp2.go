@@ -84,14 +84,14 @@ func (x E2) Neg() E2 { return E2{A: x.A.Neg(), B: x.B.Neg()} }
 // Conjugate returns A − B·i, which equals x^p when p ≡ 3 (mod 4).
 func (x E2) Conjugate() E2 { return E2{A: x.A, B: x.B.Neg()} }
 
-// Mul returns x · y using the schoolbook formula
-// (a+bi)(c+di) = (ac − bd) + (ad + bc)i.
+// Mul returns x · y by Karatsuba over i²=−1: three base multiplications
+// (ac, bd, (a+b)(c+d)) instead of the schoolbook four, with
+// (a+bi)(c+di) = (ac − bd) + ((a+b)(c+d) − ac − bd)·i.
 func (x E2) Mul(y E2) E2 {
 	ac := x.A.Mul(y.A)
 	bd := x.B.Mul(y.B)
-	ad := x.A.Mul(y.B)
-	bc := x.B.Mul(y.A)
-	return E2{A: ac.Sub(bd), B: ad.Add(bc)}
+	cross := x.A.Add(x.B).Mul(y.A.Add(y.B))
+	return E2{A: ac.Sub(bd), B: cross.Sub(ac).Sub(bd)}
 }
 
 // MulScalar returns x scaled by a base-field element.
@@ -138,6 +138,12 @@ func (x E2) Exp(k *big.Int) E2 {
 // Frobenius returns x^p. For p ≡ 3 (mod 4), i^p = −i, so this is the
 // conjugate; kept as a named operation for clarity at call sites.
 func (x E2) Frobenius() E2 { return x.Conjugate() }
+
+// SelectE2 returns a when v == 1 and b when v == 0, in constant time.
+// Companion to Select for the masked table scans in pairing.GTExpSecret.
+func SelectE2(v uint64, a, b E2) E2 {
+	return E2{A: Select(v, a.A, b.A), B: Select(v, a.B, b.B)}
+}
 
 // String implements fmt.Stringer.
 func (x E2) String() string { return fmt.Sprintf("(%s + %s·i)", x.A, x.B) }

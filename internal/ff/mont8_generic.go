@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package ff
+
+// montMul8 falls back to the portable unrolled kernel off amd64.
+func montMul8(z, x, y, m *limbs, minv uint64) { montMul8Go(z, x, y, m, minv) }

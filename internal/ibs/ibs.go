@@ -39,8 +39,6 @@ const hashDomain = "mwskit/ibs/h/v1"
 // Sign produces a signature on msg under the identity key sk (which is
 // the same d_ID = s·Q_ID object bfibe extraction yields — one PKG key
 // serves both encryption and signing roles for a device identity).
-//
-//mwslint:ignore ctflow the response r+h·s mod q is math/big arithmetic on the signing key; limb-timing debt tracked by the fixed-limb ROADMAP item
 func Sign(p *bfibe.Params, sk *bfibe.PrivateKey, msg []byte, rng io.Reader) (*Signature, error) {
 	if p == nil || sk == nil {
 		return nil, errors.New("ibs: nil params or key")
@@ -54,14 +52,13 @@ func Sign(p *bfibe.Params, sk *bfibe.PrivateKey, msg []byte, rng io.Reader) (*Si
 		return nil, err
 	}
 	// Both multiplications involve secrets — r blinds the signature and
-	// r+h multiplies the private key — so they take the constant-schedule
-	// path.
+	// r+h multiplies the private key — so they take the constant-time
+	// path. The response sum r+h mod q is formed inside
+	// ScalarMultSecretSum on limb arrays, never as big.Int arithmetic.
 	u := p.Sys.Curve.ScalarMultSecret(q, r)
 	h := challenge(p, msg, u)
 	// V = (r + h)·d_ID
-	rPlusH := new(big.Int).Add(r, h)
-	rPlusH.Mod(rPlusH, p.Sys.Curve.Q)
-	v := p.Sys.Curve.ScalarMultSecret(sk.D, rPlusH)
+	v := p.Sys.Curve.ScalarMultSecretSum(sk.D, r, h)
 	return &Signature{U: u, V: v}, nil
 }
 
@@ -81,9 +78,13 @@ func Verify(p *bfibe.Params, identity, msg []byte, sig *Signature) bool {
 	h := challenge(p, msg, sig.U)
 	// RHS point: U + h·Q_ID
 	rhs := p.Sys.Curve.Add(sig.U, p.Sys.Curve.ScalarMult(q, h))
-	left := p.Sys.Pair(p.Sys.G1(), sig.V)
-	right := p.Sys.Pair(p.PPub, rhs)
-	return left.Equal(right)
+	// ê(P, V) = ê(P_pub, rhs)  ⇔  ê(P, V)·ê(−P_pub, rhs) = 1, which a
+	// multi-pairing decides with one shared final exponentiation instead
+	// of two full pairings.
+	return p.Sys.PairProduct(
+		[]ec.Point{p.Sys.G1(), p.PPub.Neg()},
+		[]ec.Point{sig.V, rhs},
+	).IsOne()
 }
 
 // challenge computes h = H(m ‖ U) ∈ [1, q−1].

@@ -22,9 +22,13 @@ import (
 //  3. secret-dependent loop bounds,
 //  4. secret-length allocations (make with a secret size),
 //  5. calls into known variable-time routines with secret operands:
-//     math/big methods (Bit included), the module's math/big-backed ff
-//     field layer, bytes.Equal/Compare-style helpers, string ==/!= on
-//     secrets, and the public variable-time ec.ScalarMult.
+//     math/big methods (Bit included), bytes.Equal/Compare-style
+//     helpers, string ==/!= on secrets, the public variable-time
+//     ec.ScalarMult, and the residual big.Int boundary of the
+//     fixed-limb ff layer (Exp's exponent-driven schedule, the
+//     NewElement/FromInt64/MulInt64 inputs, String) — each checked only
+//     in its timing-sensitive operand, so a secret base under a public
+//     exponent stays clean.
 //
 // Sources: bfibe.MasterKey / bfibe.PrivateKey / tpkg.Share by type
 // (every expression of those types is key material, so struct fields
@@ -52,9 +56,12 @@ import (
 //   - Variable-time callees propagate taint (report-and-flow, not
 //     report-and-cut): big.Int.Set on the master key is both a finding
 //     and still the master key.
-//   - Bodies in internal/ff are not re-reported; the package is
-//     wholesale math/big-backed and the debt is accounted at every call
-//     site into it, which is what the fixed-limb ROADMAP item replaces.
+//   - Bodies in internal/ff are not walked: the fixed-limb Montgomery
+//     core is constant-time by construction (masked selects, loop
+//     bounds fixed by the public limb count) and verified differentially
+//     against math/big in its own tests; the surviving variable-time
+//     surface — the big.Int boundary functions — is accounted at every
+//     call site into it.
 //   - Lengths are public (len/cap return clean), nil checks are public,
 //     and only explicit flows are tracked — a branch on a secret does
 //     not taint values assigned under it (no implicit-flow tracking).
@@ -256,7 +263,7 @@ func ctSanitizes(fn *types.Func) bool {
 	// Extract's d = s·Q_ID stays secret.
 	if calleePkgEndsIn(fn, "ec") {
 		switch name {
-		case "ScalarMult", "ScalarMultSecret", "Mul": // Mul is Comb.Mul, fixed-base
+		case "ScalarMult", "ScalarMultSecret", "ScalarMultSecretSum", "Mul": // Mul is Comb.Mul, fixed-base
 			return true
 		}
 	}
@@ -272,32 +279,56 @@ func ctPassthrough(fn *types.Func) bool {
 }
 
 // ctVartime classifies callees whose execution time depends on operand
-// values, with a short description for the diagnostic.
-func ctVartime(fn *types.Func) (string, bool) {
+// values, with a short description for the diagnostic. The returned
+// operand selector reports which expanded-argument indices (receiver
+// first for methods) are the timing-sensitive ones; nil means every
+// operand.
+//
+// internal/ff is fixed-limb Montgomery arithmetic: Add/Sub/Mul/Inv/
+// Equal/Bytes and the rest of the element surface run a schedule fixed
+// by the public limb count, so they are no longer classified here. What
+// survives is the deliberate big.Int boundary, variable-time only in
+// the big.Int (or small-integer) operand: Exp's square/multiply window
+// schedule follows the exponent's bits (the base is constant-time —
+// secret exponents belong in pairing.GTExpSecret or ec.ScalarMultSecret),
+// NewElement and FromInt64 reduce their input with math/big, MulInt64's
+// double-and-add follows the multiplier's bits, and String formats the
+// value it is called on.
+func ctVartime(fn *types.Func) (string, func(int) bool, bool) {
 	name := fn.Name()
 	if pkg := fn.Pkg(); pkg != nil {
 		switch pkg.Path() {
 		case "math/big":
-			return "math/big." + name, true
+			return "math/big." + name, nil, true
 		case "bytes":
 			switch name {
 			case "Equal", "Compare", "HasPrefix", "HasSuffix", "Index", "Contains":
-				return "bytes." + name, true
+				return "bytes." + name, nil, true
 			}
 		case "strings":
 			switch name {
 			case "Compare", "EqualFold", "Index", "HasPrefix", "HasSuffix", "Contains":
-				return "strings." + name, true
+				return "strings." + name, nil, true
 			}
 		}
 	}
 	if calleePkgEndsIn(fn, "ff") {
-		return "math/big-backed ff." + name, true
+		argOnly := func(i int) bool { return i == 1 }
+		recvOnly := func(i int) bool { return i == 0 }
+		switch name {
+		case "Exp":
+			return "ff." + name + " (exponent-driven schedule)", argOnly, true
+		case "NewElement", "FromInt64", "MulInt64":
+			return "ff." + name + " (big.Int boundary)", argOnly, true
+		case "String":
+			return "ff." + name, recvOnly, true
+		}
+		return "", nil, false
 	}
 	if name == "ScalarMult" && calleePkgEndsIn(fn, "ec") {
-		return "ec.ScalarMult", true
+		return "ec.ScalarMult", nil, true
 	}
-	return "", false
+	return "", nil, false
 }
 
 // runCTFlow builds the interprocedural summaries, then re-checks every
@@ -306,8 +337,9 @@ func runCTFlow(pass *ProgramPass) {
 	eng := buildTaintEngine(pass.Prog, ctSpec())
 	c := &ctChecker{pass: pass, eng: eng, seen: make(map[ctSeenKey]bool)}
 	for _, fa := range eng.ordered {
-		// internal/ff is wholesale math/big-backed: the debt is accounted
-		// at call sites into it, not re-reported line by line inside.
+		// internal/ff bodies are skipped: the fixed-limb core is
+		// constant-time by construction, and its big.Int boundary (the
+		// Exp schedules, NewElement) is accounted at call sites.
 		if pathEndsIn(fa.pkg.Path, "ff") {
 			continue
 		}
@@ -846,11 +878,25 @@ func (c *ctChecker) evalCall(call *ast.CallExpr, env ctEnv) []labels {
 
 	// Class 5: variable-time callee with a secret operand. Report and
 	// propagate — big.Int.Set on the master key is a finding and still
-	// the master key.
+	// the master key. The operand selector scopes the check to the
+	// callee's timing-sensitive arguments: ff.Exp on a secret base with
+	// a public exponent is constant-time and clean, the same call with a
+	// secret exponent is the finding.
 	if callee != nil && union != 0 {
-		if desc, ok := ctVartime(callee); ok {
-			c.violation(call.Pos(), ctClassVartime,
-				"%s flows into variable-time %s; use crypto/subtle or fixed-limb arithmetic", c.describe(union), desc)
+		if desc, operands, ok := ctVartime(callee); ok {
+			vt := union
+			if operands != nil {
+				vt = 0
+				for i := range argTaint {
+					if operands(i) {
+						vt |= argTaint[i]
+					}
+				}
+			}
+			if vt != 0 {
+				c.violation(call.Pos(), ctClassVartime,
+					"%s flows into variable-time %s; use crypto/subtle or fixed-limb arithmetic", c.describe(vt), desc)
+			}
 		}
 	}
 

@@ -14,6 +14,17 @@
 // killed by the (p−1) part, so vertical-line denominators are eliminated
 // and the Miller loop multiplies only line numerators.
 //
+// The Miller loop runs in Jacobian coordinates with no per-step field
+// inversion: each step emits the projective line coefficients (A, B, C)
+// such that C·(line value at φ(Q)) = (A + B·x_Q) + (C·y_Q)·i, and the
+// F_p scale C is absorbed by the final exponentiation. The coefficients
+// depend only on the first argument, so they are precomputable
+// (G1Precomp) and shareable across evaluations against many second
+// arguments — the batch-decryption shape, where one private key meets a
+// retrieval's worth of encapsulation points. Products of pairings
+// (PairProduct) run their Miller loops in lockstep under a single shared
+// final exponentiation.
+//
 // This package replaces the PBC C library used by the paper's prototype.
 package pairing
 
@@ -35,9 +46,8 @@ type GT struct {
 func (g GT) E2() ff.E2 { return g.v }
 
 // Bytes returns the canonical fixed-width encoding of the element, used
-// as KDF input by the IBE layer.
-//
-//mwslint:ignore ctflow GT serialization calls math/big-backed ff.Bytes; limb-timing debt tracked by the fixed-limb ROADMAP item
+// as KDF input by the IBE layer. The encoding runs on the constant-time
+// ff byte codec.
 func (g GT) Bytes() []byte { return g.v.Bytes() }
 
 // Equal reports whether two target-group elements are the same.
@@ -49,10 +59,13 @@ func (g GT) IsOne() bool { return g.v.IsOne() }
 // Mul returns g·h in the target group.
 func (g GT) Mul(h GT) GT { return GT{v: g.v.Mul(h.v)} }
 
-// Exp returns g^k. Negative exponents use the group inverse (the
-// conjugate, since elements of μ_q satisfy g^(p+1) = g·g^p = norm = 1).
-//
-//mwslint:ignore ctflow GT exponentiation is math/big square-and-multiply; limb-timing debt tracked by the fixed-limb ROADMAP item
+// Exp returns g^k by public square-and-multiply: the branch pattern
+// follows the bits of k, so this is for PUBLIC exponents only (test
+// scalars, protocol constants). Secret exponents — encapsulation
+// randomness above all — must go through Pairing.GTExpSecret, mirroring
+// the ScalarMult/ScalarMultSecret split in ec. Negative exponents use the
+// group inverse (the conjugate, since elements of μ_q satisfy
+// g^(p+1) = g·g^p = norm = 1).
 func (g GT) Exp(k *big.Int) GT {
 	if k.Sign() < 0 {
 		inv := g.v.Conjugate() // g ∈ μ_{p+1} ⇒ g⁻¹ = conj(g)
@@ -92,93 +105,262 @@ func (e *Pairing) GTFromBytes(b []byte) (GT, error) {
 	return GT{v: v}, nil
 }
 
-// Pair computes the modified Tate pairing ê(P, Q). Both inputs must lie in
-// the order-q subgroup G1 (callers obtain them via hashing or scalar
-// multiplication of subgroup points); pairing with the identity returns 1.
-//
-//mwslint:ignore ctflow the Miller loop runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
-func (e *Pairing) Pair(p, q ec.Point) GT {
-	obsv.AddPairing()
-	if p.Inf || q.Inf {
-		return e.GTOne()
+// GTExpSecret returns g^k with an instruction trace and memory access
+// pattern independent of k: the exponent is recoded into fixed-count
+// signed odd digits on limb arrays (ec.RecodeSecretScalar) and the
+// 8-entry odd-power table is read by full masked scans. Negative digits
+// use the conjugate, so g must lie in μ_{p+1} — every pairing output
+// does. The result is g^(k mod q) (the recoding adds a multiple of q,
+// invisible in μ_q). Use this whenever the exponent is secret: the
+// encapsulation randomness r in g_ID^r is the canonical case.
+func (e *Pairing) GTExpSecret(g GT, k *big.Int) GT {
+	digits := e.Curve.RecodeSecretScalar(k)
+	var tbl [8]ff.E2 // tbl[j] = g^(2j+1)
+	tbl[0] = g.v
+	g2 := g.v.Square()
+	for j := 1; j < len(tbl); j++ {
+		tbl[j] = tbl[j-1].Mul(g2)
 	}
-	f := e.miller(p, q)
-	return GT{v: e.finalExp(f)}
+	acc := selE2Signed(&tbl, digits[len(digits)-1])
+	for i := len(digits) - 2; i >= 0; i-- {
+		acc = acc.Square().Square().Square().Square()
+		acc = acc.Mul(selE2Signed(&tbl, digits[i]))
+	}
+	return GT{v: acc}
 }
 
-// miller evaluates the Miller function f_{q,P} at φ(Q) with denominator
-// elimination, accumulating only line numerators in F_p².
-//
-// φ(Q) = (−x_Q, i·y_Q), so a line y = λ(x − x_T) + y_T with F_p
-// coefficients evaluates to
-//
-//	(λ·(x_Q + x_T) − y_T)  +  y_Q·i  ∈ F_p².
-//
-// Vertical lines evaluate into F_p and are skipped (the final
-// exponentiation maps them to 1).
-//
-//mwslint:ignore ctflow the Miller loop runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
-func (e *Pairing) miller(p, q ec.Point) ff.E2 {
-	c := e.Curve
-	f := c.F.E2One()
-	xq, yq := q.X, q.Y
+// selE2Signed returns tbl[(|d|−1)/2] conjugated when d < 0, scanning the
+// whole table under an arithmetic mask — the μ_q analogue of ec's
+// selectSigned.
+func selE2Signed(tbl *[8]ff.E2, d int64) ff.E2 {
+	m := d >> 63 // all ones iff d < 0
+	abs := uint64((d ^ m) - m)
+	idx := (abs - 1) >> 1
+	e := tbl[0]
+	for j := 1; j < len(tbl); j++ {
+		x := uint64(j) ^ idx
+		hit := 1 - ((x | -x) >> 63) // 1 iff j == idx
+		e = ff.SelectE2(hit, tbl[j], e)
+	}
+	return ff.SelectE2(uint64(m)&1, e.Conjugate(), e)
+}
 
-	t := p // running multiple of P, T = jP
-	order := c.Q
-	for i := order.BitLen() - 2; i >= 0; i-- {
+// lineCoeffs are the projective coefficients of one Miller-loop line:
+// the line through the relevant multiples of P, scaled by an F_p factor
+// the final exponentiation kills, evaluates at the distorted point
+// φ(Q) = (−x_Q, i·y_Q) to (a + b·x_Q) + (c·y_Q)·i.
+type lineCoeffs struct {
+	a, b, c ff.Element
+}
+
+func (l lineCoeffs) at(xq, yq ff.Element) ff.E2 {
+	return ff.NewE2(l.a.Add(l.b.Mul(xq)), l.c.Mul(yq))
+}
+
+// millerStep is one iteration of the Miller loop: always a tangent
+// (doubling) line, plus a chord (addition) line on the set bits of q.
+// Whether the chord is present follows the public bits of q.
+type millerStep struct {
+	tan      lineCoeffs
+	chord    lineCoeffs
+	hasChord bool
+}
+
+// g1Jac is a minimal local Jacobian point for the precomputation walk:
+// (X, Y, Z) ↦ (X/Z², Y/Z³). The formulas below share their intermediates
+// with the line coefficients, which ec's Jacobian helpers do not expose.
+type g1Jac struct {
+	x, y, z ff.Element
+}
+
+// tangentStep doubles t with the a = 1 formulas and returns the tangent
+// line at the pre-doubling t. With x_T = X/Z², y_T = Y/Z³ and
+// M = 3X² + Z⁴ the affine tangent value λ·(x_Q + x_T) − y_T scaled by
+// C = 2YZ³ is (M·X − 2Y²) + (M·Z²)·x_Q, giving A = M·X − 2Y², B = M·Z²,
+// C = Z'·Z² where Z' = 2YZ is also the doubled point's Z.
+func tangentStep(t g1Jac) (lineCoeffs, g1Jac) {
+	ySq := t.y.Square()
+	zSq := t.z.Square()
+	m := t.x.Square().MulInt64(3).Add(zSq.Square())
+	z3 := t.y.Mul(t.z).Double()
+	line := lineCoeffs{
+		a: m.Mul(t.x).Sub(ySq.Double()),
+		b: m.Mul(zSq),
+		c: z3.Mul(zSq),
+	}
+	s := t.x.Mul(ySq).MulInt64(4)
+	x3 := m.Square().Sub(s.Double())
+	y3 := m.Mul(s.Sub(x3)).Sub(ySq.Square().MulInt64(8))
+	return line, g1Jac{x: x3, y: y3, z: z3}
+}
+
+// chordStep adds the affine base point p to t (mixed addition) and
+// returns the chord line through both. With H = x_p·Z² − X, R = y_p·Z³ − Y
+// the affine chord value scaled by C = Z3·Z² (Z3 = Z·H) is
+// (R·X − H·Y) + (R·Z²)·x_Q. A vertical chord (H = 0, the final
+// T = −P step of the loop) degenerates gracefully: C = 0 puts the value
+// in F_p, where the final exponentiation kills it, and Z3 = 0 marks the
+// sum as infinity.
+func chordStep(t g1Jac, p ec.Point) (lineCoeffs, g1Jac) {
+	z1Sq := t.z.Square()
+	u2 := p.X.Mul(z1Sq)
+	s2 := p.Y.Mul(z1Sq).Mul(t.z)
+	h := u2.Sub(t.x)
+	r := s2.Sub(t.y)
+	z3 := t.z.Mul(h)
+	line := lineCoeffs{
+		a: r.Mul(t.x).Sub(h.Mul(t.y)),
+		b: r.Mul(z1Sq),
+		c: z3.Mul(z1Sq),
+	}
+	hSq := h.Square()
+	hCu := hSq.Mul(h)
+	v := t.x.Mul(hSq)
+	x3 := r.Square().Sub(hCu).Sub(v.Double())
+	y3 := r.Mul(v.Sub(x3)).Sub(t.y.Mul(hCu))
+	return line, g1Jac{x: x3, y: y3, z: z3}
+}
+
+// G1Precomp caches the Miller-loop line coefficients of a fixed first
+// argument P. The coefficients depend only on P and q, so one walk of the
+// loop (all point arithmetic, no F_p² work) serves any number of
+// evaluations against second arguments — e.g. one private key d_ID
+// against every encapsulation point of a retrieval batch. Immutable and
+// safe for concurrent use.
+//
+// The walk is exception-free for P of prime order q: intermediate
+// multiples kP (0 < k < q) never hit infinity, the chord operands 2jP and
+// P are never equal (2j is even, 1 is odd, both below q), and the only
+// vertical chord is the final T = −P step, which chordStep handles
+// without branching.
+type G1Precomp struct {
+	e     *Pairing
+	steps []millerStep
+	inf   bool
+}
+
+// G1Precomp builds the line-coefficient cache for a fixed first argument.
+// P must lie in the order-q subgroup, like every first argument to Pair.
+func (e *Pairing) G1Precomp(p ec.Point) *G1Precomp {
+	//mwslint:declassify infinity tag is public wire structure; extracted private keys are never the identity, so the branch outcome is fixed for secret first arguments
+	if p.Inf {
+		return &G1Precomp{e: e, inf: true}
+	}
+	q := e.Curve.Q
+	steps := make([]millerStep, 0, q.BitLen()-1)
+	t := g1Jac{x: p.X, y: p.Y, z: e.Curve.F.One()}
+	for i := q.BitLen() - 2; i >= 0; i-- {
+		var st millerStep
+		st.tan, t = tangentStep(t)
+		if q.Bit(i) == 1 {
+			st.hasChord = true
+			st.chord, t = chordStep(t, p)
+		}
+		steps = append(steps, st)
+	}
+	return &G1Precomp{e: e, steps: steps}
+}
+
+// miller evaluates the cached Miller function at φ(Q), accumulating line
+// numerators in F_p².
+func (pre *G1Precomp) miller(q ec.Point) ff.E2 {
+	f := pre.e.Curve.F.E2One()
+	for _, st := range pre.steps {
 		f = f.Square()
-		f = f.Mul(e.tangentAt(t, xq, yq))
-		t = c.Double(t)
-		if order.Bit(i) == 1 {
-			f = f.Mul(e.chordAt(t, p, xq, yq))
-			t = c.Add(t, p)
+		f = f.Mul(st.tan.at(q.X, q.Y))
+		//mwslint:declassify chord presence follows the bits of the public group order q, not the (possibly secret) point the steps were built from
+		if st.hasChord {
+			f = f.Mul(st.chord.at(q.X, q.Y))
 		}
 	}
 	return f
 }
 
-// tangentAt evaluates the tangent line at T at the distorted point
-// (−x_Q, i·y_Q). A vertical tangent (y_T = 0) or T at infinity contributes
-// a unit factor.
-//
-//mwslint:ignore ctflow line evaluation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
-func (e *Pairing) tangentAt(t ec.Point, xq, yq ff.Element) ff.E2 {
-	c := e.Curve
-	if t.Inf || t.Y.IsZero() {
-		return c.F.E2One()
+// Pair evaluates ê(P, Q) against the precomputed first argument.
+func (pre *G1Precomp) Pair(q ec.Point) GT {
+	obsv.AddPairing()
+	if pre.inf || q.Inf {
+		return pre.e.GTOne()
 	}
-	// λ = (3x_T² + 1) / (2y_T)
-	lam := t.X.Square().MulInt64(3).Add(c.F.One()).Mul(t.Y.Double().Inv())
-	re := lam.Mul(xq.Add(t.X)).Sub(t.Y)
-	return ff.NewE2(re, yq)
+	return GT{v: pre.e.finalExp(pre.miller(q))}
 }
 
-// chordAt evaluates the line through T and P at the distorted point. When
-// the chord is vertical (T = −P) or either endpoint is infinity the factor
-// is a unit; when T = P it degenerates to the tangent.
-//
-//mwslint:ignore ctflow line evaluation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
-func (e *Pairing) chordAt(t, p ec.Point, xq, yq ff.Element) ff.E2 {
-	c := e.Curve
-	if t.Inf || p.Inf {
-		return c.F.E2One()
+// PairProduct evaluates Π_i ê(P, Q_i) under a single shared final
+// exponentiation: the Miller accumulators multiply together before the
+// exponentiation, which runs once for the whole product.
+func (pre *G1Precomp) PairProduct(qs ...ec.Point) GT {
+	if pre.inf {
+		return pre.e.GTOne()
 	}
-	if t.X.Equal(p.X) {
-		if t.Y.Equal(p.Y) {
-			return e.tangentAt(t, xq, yq)
+	f := pre.e.Curve.F.E2One()
+	live := false
+	for _, q := range qs {
+		if q.Inf {
+			continue
 		}
-		return c.F.E2One() // vertical chord, killed by final exponentiation
+		obsv.AddPairing()
+		f = f.Mul(pre.miller(q))
+		live = true
 	}
-	lam := p.Y.Sub(t.Y).Mul(p.X.Sub(t.X).Inv())
-	re := lam.Mul(xq.Add(t.X)).Sub(t.Y)
-	return ff.NewE2(re, yq)
+	if !live {
+		return pre.e.GTOne()
+	}
+	return GT{v: pre.e.finalExp(f)}
+}
+
+// Pair computes the modified Tate pairing ê(P, Q). Both inputs must lie in
+// the order-q subgroup G1 (callers obtain them via hashing or scalar
+// multiplication of subgroup points); pairing with the identity returns 1.
+func (e *Pairing) Pair(p, q ec.Point) GT {
+	obsv.AddPairing()
+	//mwslint:declassify infinity tags are public wire structure; extracted private keys are never the identity, so the branch outcome is fixed for secret operands
+	if p.Inf || q.Inf {
+		return e.GTOne()
+	}
+	return GT{v: e.finalExp(e.G1Precomp(p).miller(q))}
+}
+
+// PairProduct computes Π_i ê(P_i, Q_i) with the Miller loops run in
+// lockstep — one shared F_p² squaring chain — and a single shared final
+// exponentiation. A product of n pairings costs n Miller line
+// evaluations but only one squaring chain and one exponentiation,
+// against n of each for separate Pair calls. Identity pairs contribute
+// the unit factor. The canonical caller is signature verification, which
+// decides ê(P1, Q1) = ê(P2, Q2) as PairProduct((P1, Q1), (−P2, Q2)).IsOne().
+func (e *Pairing) PairProduct(ps, qs []ec.Point) GT {
+	if len(ps) != len(qs) {
+		panic("pairing: PairProduct operand length mismatch")
+	}
+	pres := make([]*G1Precomp, 0, len(ps))
+	live := make([]ec.Point, 0, len(ps))
+	for i, p := range ps {
+		if p.Inf || qs[i].Inf {
+			continue
+		}
+		obsv.AddPairing()
+		pres = append(pres, e.G1Precomp(p))
+		live = append(live, qs[i])
+	}
+	if len(pres) == 0 {
+		return e.GTOne()
+	}
+	f := e.Curve.F.E2One()
+	for s := range pres[0].steps {
+		f = f.Square()
+		for i, pre := range pres {
+			st := pre.steps[s]
+			f = f.Mul(st.tan.at(live[i].X, live[i].Y))
+			if st.hasChord {
+				f = f.Mul(st.chord.at(live[i].X, live[i].Y))
+			}
+		}
+	}
+	return GT{v: e.finalExp(f)}
 }
 
 // finalExp raises the Miller accumulator to (p²−1)/q = (p−1)·((p+1)/q).
 // The easy part f^(p−1) is conj(f)·f⁻¹ via Frobenius; the hard part is a
-// plain square-and-multiply with exponent (p+1)/q.
-//
-//mwslint:ignore ctflow the final exponentiation runs on math/big-backed ff; limb-timing debt tracked by the fixed-limb ROADMAP item
+// square-and-multiply with the public exponent (p+1)/q.
 func (e *Pairing) finalExp(f ff.E2) ff.E2 {
 	// f^(p−1) = f^p / f = conj(f) · f⁻¹.
 	g := f.Conjugate().Mul(f.Inv())

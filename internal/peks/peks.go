@@ -66,9 +66,10 @@ func NewTag(p *bfibe.Params, keyword string, rng io.Reader) (*Tag, error) {
 	}
 	// r is secret (it binds the tag to the keyword), and U = rP is a
 	// fixed-base multiplication — the shared comb gives both the
-	// constant schedule and the speedup.
+	// constant schedule and the speedup; the target-group power of r
+	// likewise takes the constant-time path.
 	u := p.Sys.G1Comb().Mul(r)
-	t := p.Sys.Pair(qw, p.PPub).Exp(r)
+	t := p.Sys.GTExpSecret(p.Sys.Pair(qw, p.PPub), r)
 	return &Tag{U: u, C: kdf.Stream("mwskit/peks/h/v1", t.Bytes(), tagHashLen)}, nil
 }
 

@@ -42,7 +42,7 @@ type Partial struct {
 // Split shares the master secret among n servers with threshold t
 // (any t of the n shares suffice; t−1 reveal nothing).
 //
-//mwslint:ignore ctflow Horner evaluation adds the secret polynomial coefficients with math/big; limb-timing debt tracked by the fixed-limb ROADMAP item
+//mwslint:ignore ctflow key-ceremony boundary: Horner evaluation works the secret coefficients with math/big, but Split runs once at setup inside the PKG quorum, not on any request path
 func Split(master *bfibe.MasterKey, t, n int, q *big.Int, rng io.Reader) ([]Share, error) {
 	if t < 1 || n < t {
 		return nil, fmt.Errorf("tpkg: invalid threshold %d of %d", t, n)
